@@ -1,0 +1,48 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/compression.hpp"
+#include "sparse_grid/dense_format.hpp"
+#include "sparse_grid/regular.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace hddm::bench {
+
+/// Builds the dense + compressed representations of a regular d-dimensional
+/// sparse grid with synthetic (random, nonzero) surpluses — the setup of the
+/// paper's interpolation test cases (Table I). Timing does not depend on
+/// surplus values except through early exits, which random values exercise
+/// the same way real policies do.
+struct TestGrid {
+  sg::DenseGridData dense;
+  core::CompressedGridData compressed;
+};
+
+inline TestGrid build_test_grid(int dim, int level, int ndofs, std::uint64_t seed) {
+  sg::GridStorage storage(dim);
+  sg::build_regular_grid(storage, level);
+  TestGrid out;
+  out.dense = sg::make_dense_grid(storage, ndofs);
+  util::Rng rng(seed);
+  for (auto& s : out.dense.surplus) s = rng.uniform(0.1, 1.0) * (rng.uniform() < 0.5 ? -1 : 1);
+  out.compressed = core::compress(out.dense);
+  return out;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_table(const util::Table& table) {
+  std::fputs(table.to_string().c_str(), stdout);
+  if (util::env_flag("HDDM_CSV", false)) std::fputs(table.to_csv().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace hddm::bench

@@ -1,0 +1,67 @@
+// Compression explorer: walks the Sec. IV-B pipeline on grids of increasing
+// dimension and prints what each stage buys — the zero content of the pair
+// matrix, the number of unique basis factors (xps), the chain length
+// (nfreq), and the resulting speedup of the compressed kernel over the dense
+// `gold` baseline.
+//
+//   $ ./compression_explorer [max_dim]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/compression.hpp"
+#include "kernels/kernel_api.hpp"
+#include "sparse_grid/regular.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hddm;
+  const int max_dim = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int level = 3;
+  const int ndofs = 16;
+
+  std::printf("ASG index compression across dimensions (level %d, ndofs %d)\n", level, ndofs);
+  std::printf("The paper's example (Fig. 3): the remapped pair matrix of a d=59 grid is\n"
+              "~96.8%% zeros; the chains shrink the per-point work from d to nfreq factors.\n\n");
+
+  util::Table table({"d", "points", "Xi zeros", "xps", "nfreq", "index bytes dense",
+                     "index bytes compressed", "gold us/eval", "x86 us/eval", "speedup"});
+
+  for (int d = 2; d <= max_dim; d *= 2) {
+    sg::GridStorage storage(d);
+    sg::build_regular_grid(storage, level);
+    sg::DenseGridData dense = sg::make_dense_grid(storage, ndofs);
+    util::Rng rng(d);
+    for (auto& s : dense.surplus) s = rng.uniform(-1, 1);
+    const core::CompressedGridData compressed = core::compress(dense);
+
+    const auto gold = kernels::make_kernel(kernels::KernelKind::Gold, &dense, &compressed);
+    const auto x86 = kernels::make_kernel(kernels::KernelKind::X86, &dense, &compressed);
+
+    const int samples = 2000;
+    std::vector<double> value(ndofs);
+    std::vector<std::vector<double>> xs;
+    for (int s = 0; s < samples; ++s) xs.push_back(rng.uniform_point(d));
+
+    util::Timer t;
+    for (const auto& x : xs) gold->evaluate(x.data(), value.data());
+    const double t_gold = t.seconds() / samples;
+    t.reset();
+    for (const auto& x : xs) x86->evaluate(x.data(), value.data());
+    const double t_x86 = t.seconds() / samples;
+
+    table.add_row({std::to_string(d), util::fmt_count(dense.nno),
+                   util::fmt_double(100.0 * compressed.stats.xi_zero_fraction, 3) + "%",
+                   std::to_string(compressed.xps_size()), std::to_string(compressed.nfreq),
+                   util::fmt_count(static_cast<long long>(compressed.stats.dense_bytes)),
+                   util::fmt_count(static_cast<long long>(compressed.stats.compressed_bytes)),
+                   util::fmt_double(t_gold * 1e6, 3), util::fmt_double(t_x86 * 1e6, 3),
+                   util::fmt_double(t_gold / t_x86, 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nReading: zero content and speedup both grow with dimension — exactly the\n"
+              "regime (d=59) the paper targets. nfreq stays at level-1=2 regardless of d.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// IRBC example: international consumption smoothing under asymmetric
+// productivity shocks — the model family of the authors' earlier work
+// ([17], [18]) run through the exact same time-iteration/ASG/kernel stack as
+// the OLG application, demonstrating the economy-agnostic core API.
+//
+//   $ ./irbc_smoothing [countries] [shock_bits]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/time_iteration.hpp"
+#include "irbc/irbc_model.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hddm;
+  irbc::IrbcCalibration cal;
+  cal.countries = argc > 1 ? std::atoi(argv[1]) : 3;
+  cal.max_shock_bits = argc > 2 ? std::atoi(argv[2]) : 2;
+  cal.beta = 0.95;  // faster time-iteration contraction for the demo
+
+  const irbc::IrbcModel model(cal);
+  std::printf("IRBC: %d countries (d=%d), %d discrete productivity states\n", cal.countries,
+              model.state_dim(), model.num_shocks());
+
+  core::TimeIterationOptions opts;
+  opts.base_level = 3;
+  opts.max_iterations = 200;
+  opts.tolerance = 1e-6;
+  opts.threads = 2;
+  const auto result = core::solve_time_iteration(model, opts);
+  std::printf("%s after %d iterations (policy change %.2e)\n",
+              result.converged ? "converged" : "stopped", result.iterations,
+              result.final_change);
+
+  // Investment responses at the symmetric state k = k_ss across shocks.
+  util::Table table({"state", "pattern", "k' country 0", "k' country 1", "spread"});
+  const std::vector<double> center(static_cast<std::size_t>(model.state_dim()), 0.5);
+  std::vector<double> k_next(static_cast<std::size_t>(model.ndofs()));
+  for (int z = 0; z < model.num_shocks(); ++z) {
+    result.policy->evaluate(z, center, k_next);
+    std::string pattern;
+    for (int j = 0; j < cal.countries; ++j)
+      pattern += model.productivity(z, j) > 1.0 ? '+' : '-';
+    table.add_row({std::to_string(z), pattern, util::fmt_double(k_next[0], 5),
+                   util::fmt_double(k_next[1], 5),
+                   util::fmt_double(k_next[0] - k_next[1], 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf("\nReading: capital flows toward booming countries (the planner invests\n"
+              "where productivity is high) while complete markets equalize consumption —\n"
+              "the cross-country smoothing mechanism these models are built to study.\n");
+
+  // Welfare-relevant aggregate: consumption at the center state by shock.
+  util::Table cons({"state", "per-country consumption"});
+  const std::vector<double> k_phys = model.domain().to_physical(center);
+  for (int z = 0; z < model.num_shocks(); ++z) {
+    result.policy->evaluate(z, center, k_next);
+    cons.add_row({std::to_string(z),
+                  util::fmt_double(model.consumption(z, k_phys, k_next), 6)});
+  }
+  std::fputs(cons.to_string().c_str(), stdout);
+  return result.converged ? 0 : 1;
+}

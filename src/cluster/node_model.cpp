@@ -1,0 +1,49 @@
+#include "cluster/node_model.hpp"
+
+namespace hddm::cluster {
+
+std::vector<NodeSpeedup> predict_node_speedups(const NodeConfig& node,
+                                               const NodeModelInputs& inputs) {
+  const double fi = inputs.interp_fraction;
+  const double fs = 1.0 - fi;
+  const double cores = node.cores * node.smt_yield;
+
+  std::vector<NodeSpeedup> out;
+  out.push_back({"1 thread", 1.0});
+
+  // All cores, scalar kernels: both fractions scale with cores.
+  out.push_back({"multithreaded", 1.0 / (fs / cores + fi / cores)});
+
+  // All cores + vectorized kernels.
+  const double vec = 1.0 / (fs / cores + fi / (cores * node.vector_gain));
+  out.push_back({"multithreaded+vector", vec});
+
+  // Hybrid: interpolation additionally lands on the accelerator.
+  if (node.accelerator_gain > 0.0) {
+    const double interp_throughput = cores * node.vector_gain + node.accelerator_gain;
+    out.push_back({"hybrid CPU+device", 1.0 / (fs / cores + fi / interp_throughput)});
+  }
+  return out;
+}
+
+NodeConfig piz_daint_node() {
+  NodeConfig n;
+  n.name = "Piz Daint XC50 (E5-2690v3 + P100)";
+  n.cores = 12;
+  n.smt_yield = 1.05;       // modest HT yield on Haswell
+  n.vector_gain = 1.15;     // AVX2 on a memory-bound kernel (Table II: ~nil)
+  n.accelerator_gain = 16.0;  // P100 adds ~16 core-equivalents of interpolation
+  return n;
+}
+
+NodeConfig grand_tave_node() {
+  NodeConfig n;
+  n.name = "Grand Tave XC40 (Xeon Phi 7230, KNL)";
+  n.cores = 64;
+  n.smt_yield = 1.45;       // 4-way SMT on KNL yields ~1.4-1.5x
+  n.vector_gain = 1.05;     // AVX-512 helps mainly the large kernels
+  n.accelerator_gain = 0.0;
+  return n;
+}
+
+}  // namespace hddm::cluster

@@ -1,0 +1,46 @@
+// Single-node performance model — regenerates the *shape* of Fig. 7
+// (single-thread -> hybrid CPU/GPU on "Piz Daint", single-thread ->
+// multithreaded KNL on "Grand Tave").
+//
+// The measured inputs come from the Fig. 7 bench (a real reduced OLG time
+// step run locally at 1..K threads and with the simulated device); the node
+// model then maps those measurements onto the paper's hardware parameters
+// via an Amdahl decomposition: a time step is `interp_fraction` interpolation
+// work (vectorizable, offloadable) + the remainder of serial-ish solver
+// bookkeeping parallelized over cores only.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hddm::cluster {
+
+struct NodeConfig {
+  std::string name;
+  int cores = 12;
+  double smt_yield = 1.0;        ///< extra throughput from hyper/hardware threads
+  double vector_gain = 1.0;      ///< kernel speedup from AVX/AVX2/AVX-512
+  double accelerator_gain = 0.0; ///< additional interpolation throughput (GPU), in core-equivalents
+};
+
+struct NodeModelInputs {
+  /// Fraction of single-thread wall time spent interpolating p_next
+  /// (the paper: "up to 99%"; measured locally by the bench).
+  double interp_fraction = 0.95;
+};
+
+struct NodeSpeedup {
+  std::string variant;
+  double speedup = 1.0;
+};
+
+/// Predicted speedups of the paper's Fig. 7 variants over one optimized CPU
+/// thread on the same node.
+std::vector<NodeSpeedup> predict_node_speedups(const NodeConfig& node,
+                                               const NodeModelInputs& inputs);
+
+/// The two testbeds of Sec. V.
+NodeConfig piz_daint_node();   ///< 12-core Xeon E5-2690 v3 + P100
+NodeConfig grand_tave_node();  ///< 64-core Xeon Phi 7230 (KNL)
+
+}  // namespace hddm::cluster

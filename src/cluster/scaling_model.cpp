@@ -1,0 +1,125 @@
+#include "cluster/scaling_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/group_assign.hpp"
+
+namespace hddm::cluster {
+
+std::vector<ScalingPoint> simulate_strong_scaling(const ScalingWorkload& workload,
+                                                  const ScalingMachine& machine,
+                                                  const std::vector<int>& node_counts) {
+  if (workload.points_per_level.empty())
+    throw std::invalid_argument("simulate_strong_scaling: empty workload");
+  for (const auto& level : workload.points_per_level)
+    if (static_cast<int>(level.size()) != workload.num_states)
+      throw std::invalid_argument("simulate_strong_scaling: level/state shape mismatch");
+
+  // Total per-state workload drives the group assignment (the paper uses the
+  // previous step's grid sizes; within one step the totals are the best
+  // stand-in).
+  std::vector<std::uint64_t> state_totals(static_cast<std::size_t>(workload.num_states), 0);
+  for (const auto& level : workload.points_per_level)
+    for (int z = 0; z < workload.num_states; ++z)
+      state_totals[static_cast<std::size_t>(z)] += level[static_cast<std::size_t>(z)];
+
+  std::vector<ScalingPoint> results;
+  results.reserve(node_counts.size());
+
+  for (const int nodes : node_counts) {
+    if (nodes < 1) throw std::invalid_argument("simulate_strong_scaling: bad node count");
+    ScalingPoint pt;
+    pt.nodes = nodes;
+
+    // Group sizes; with fewer nodes than states, states share nodes
+    // round-robin and a node serializes its states' work.
+    std::vector<int> group_sizes;
+    std::vector<int> states_per_node_color;
+    const bool shared_nodes = nodes < workload.num_states;
+    if (!shared_nodes) {
+      group_sizes = proportional_group_sizes(state_totals, nodes);
+    }
+
+    double total = 0.0;
+    for (std::size_t li = 0; li < workload.points_per_level.size(); ++li) {
+      const auto& level_points = workload.points_per_level[li];
+      LevelTiming lt;
+      lt.level = static_cast<int>(li);
+
+      double level_wall = 0.0;  // max over groups (they run concurrently)
+      if (!shared_nodes) {
+        for (int z = 0; z < workload.num_states; ++z) {
+          const int group = std::max(1, group_sizes[static_cast<std::size_t>(z)]);
+          const std::uint64_t points = level_points[static_cast<std::size_t>(z)];
+          // Worst rank share, then ceil over the node's threads: the
+          // points-per-thread < 1 idling effect.
+          const std::uint64_t share = block_partition(points, group, 0).size();
+          const auto rounds = static_cast<double>(
+              (share + machine.threads_per_node - 1) / machine.threads_per_node);
+          // Cross-rank straggler factor: expected overshoot of the slowest of
+          // W workers over the mean when each averages n variable-duration
+          // points (extreme-value scaling of a mean of n iid costs).
+          const double workers =
+              static_cast<double>(group) * machine.threads_per_node;
+          const double n_per_thread = std::max(
+              static_cast<double>(share) / machine.threads_per_node, 0.05);
+          const double imbalance =
+              1.0 + machine.solve_time_cv *
+                        std::sqrt(2.0 * std::log(std::max(2.0, workers)) / n_per_thread);
+          const double mean_rounds = static_cast<double>(share) / machine.threads_per_node;
+          const double solve =
+              std::max(rounds, mean_rounds * imbalance) * machine.seconds_per_point;
+
+          // Allgather of the level's new surpluses within the group.
+          const double bytes = static_cast<double>(points) * workload.ndofs *
+                               machine.bytes_per_point_factor;
+          const double stages = std::ceil(std::log2(std::max(2, group)));
+          const double merge = stages * machine.merge_latency +
+                               bytes / machine.merge_bandwidth_bps;
+
+          level_wall = std::max(level_wall, solve + merge);
+          lt.merge_seconds = std::max(lt.merge_seconds, merge);
+        }
+      } else {
+        // Each node serializes ceil(Ns / nodes) states.
+        const int states_per_node =
+            (workload.num_states + nodes - 1) / nodes;
+        std::uint64_t worst_points = 0;
+        for (int n0 = 0; n0 < nodes; ++n0) {
+          std::uint64_t acc = 0;
+          for (int z = n0; z < workload.num_states; z += nodes)
+            acc += level_points[static_cast<std::size_t>(z)];
+          worst_points = std::max(worst_points, acc);
+        }
+        const auto rounds = static_cast<double>(
+            (worst_points + machine.threads_per_node - 1) / machine.threads_per_node);
+        level_wall = rounds * machine.seconds_per_point;
+        (void)states_per_node;
+        lt.merge_seconds = 0.0;  // single-node groups: merge is local
+      }
+
+      lt.solve_seconds = level_wall - lt.merge_seconds;
+      level_wall += machine.barrier_latency;  // world barrier per level
+      lt.merge_seconds += machine.barrier_latency;
+      total += level_wall;
+      pt.levels.push_back(lt);
+    }
+    pt.total_seconds = total;
+    results.push_back(pt);
+  }
+
+  // Efficiency relative to the smallest node count.
+  if (!results.empty()) {
+    const double t0 = results.front().total_seconds;
+    const int n0 = results.front().nodes;
+    for (auto& pt : results) {
+      const double ideal = t0 * static_cast<double>(n0) / static_cast<double>(pt.nodes);
+      pt.efficiency = ideal / pt.total_seconds;
+    }
+  }
+  return results;
+}
+
+}  // namespace hddm::cluster

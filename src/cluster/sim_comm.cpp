@@ -1,0 +1,195 @@
+#include "cluster/sim_comm.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+
+namespace hddm::cluster {
+
+namespace detail {
+
+struct Mailbox {
+  std::deque<std::vector<double>> messages;
+};
+
+struct CommContext {
+  int size = 0;
+
+  // Point-to-point mailboxes keyed by (source, dest, tag).
+  std::mutex mail_mu;
+  std::condition_variable mail_cv;
+  std::map<std::tuple<int, int, int>, Mailbox> mailboxes;
+
+  // Generation-counting barrier.
+  std::mutex barrier_mu;
+  std::condition_variable barrier_cv;
+  int barrier_waiting = 0;
+  std::uint64_t barrier_generation = 0;
+
+  // Split coordination: each split() call gathers (color, key) from all
+  // ranks; reuse a simple slot array guarded by the barrier machinery.
+  std::mutex split_mu;
+  std::condition_variable split_cv;
+  std::uint64_t split_round = 0;
+  int split_submitted = 0;
+  std::vector<std::pair<int, int>> split_entries;  // (color, key) per rank
+  std::map<int, std::shared_ptr<CommContext>> split_children;  // color -> ctx
+  std::map<int, std::vector<int>> split_members;               // color -> old ranks (sorted)
+};
+
+}  // namespace detail
+
+using detail::CommContext;
+
+SimComm::SimComm(std::shared_ptr<CommContext> ctx, int rank) : ctx_(std::move(ctx)), rank_(rank) {}
+
+int SimComm::size() const { return ctx_->size; }
+
+void SimComm::barrier() const {
+  CommContext& c = *ctx_;
+  std::unique_lock<std::mutex> lock(c.barrier_mu);
+  const std::uint64_t gen = c.barrier_generation;
+  if (++c.barrier_waiting == c.size) {
+    c.barrier_waiting = 0;
+    ++c.barrier_generation;
+    c.barrier_cv.notify_all();
+  } else {
+    c.barrier_cv.wait(lock, [&c, gen] { return c.barrier_generation != gen; });
+  }
+}
+
+void SimComm::send(int dest, int tag, std::vector<double> payload) const {
+  if (dest < 0 || dest >= size()) throw std::invalid_argument("SimComm::send: bad destination");
+  CommContext& c = *ctx_;
+  {
+    const std::lock_guard<std::mutex> lock(c.mail_mu);
+    c.mailboxes[{rank_, dest, tag}].messages.push_back(std::move(payload));
+  }
+  c.mail_cv.notify_all();
+}
+
+std::vector<double> SimComm::recv(int source, int tag) const {
+  if (source < 0 || source >= size()) throw std::invalid_argument("SimComm::recv: bad source");
+  CommContext& c = *ctx_;
+  std::unique_lock<std::mutex> lock(c.mail_mu);
+  auto& box = c.mailboxes[{source, rank_, tag}];
+  c.mail_cv.wait(lock, [&box] { return !box.messages.empty(); });
+  std::vector<double> payload = std::move(box.messages.front());
+  box.messages.pop_front();
+  return payload;
+}
+
+SimComm SimComm::split(int color, int key) const {
+  CommContext& c = *ctx_;
+  std::unique_lock<std::mutex> lock(c.split_mu);
+  const std::uint64_t round = c.split_round;
+
+  if (c.split_entries.empty()) c.split_entries.resize(static_cast<std::size_t>(c.size));
+  c.split_entries[static_cast<std::size_t>(rank_)] = {color, key};
+
+  if (++c.split_submitted == c.size) {
+    // Last arrival materializes the child contexts.
+    c.split_children.clear();
+    c.split_members.clear();
+    for (int r = 0; r < c.size; ++r) {
+      const int col = c.split_entries[static_cast<std::size_t>(r)].first;
+      c.split_members[col].push_back(r);
+    }
+    for (auto& [col, members] : c.split_members) {
+      // Order by (key, old rank).
+      std::stable_sort(members.begin(), members.end(), [&c](int a, int b) {
+        return c.split_entries[static_cast<std::size_t>(a)].second <
+               c.split_entries[static_cast<std::size_t>(b)].second;
+      });
+      auto child = std::make_shared<CommContext>();
+      child->size = static_cast<int>(members.size());
+      c.split_children[col] = std::move(child);
+    }
+    c.split_submitted = 0;
+    ++c.split_round;
+    c.split_cv.notify_all();
+  } else {
+    c.split_cv.wait(lock, [&c, round] { return c.split_round != round; });
+  }
+
+  const auto& members = c.split_members.at(color);
+  const auto it = std::find(members.begin(), members.end(), rank_);
+  const int new_rank = static_cast<int>(it - members.begin());
+  return SimComm(c.split_children.at(color), new_rank);
+}
+
+std::vector<double> SimComm::bcast(std::vector<double> payload, int root) const {
+  constexpr int kTag = -101;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != root) send(r, kTag, payload);
+    return payload;
+  }
+  return recv(root, kTag);
+}
+
+std::vector<double> SimComm::gatherv(std::span<const double> contribution, int root) const {
+  constexpr int kTag = -102;
+  if (rank_ != root) {
+    send(root, kTag, std::vector<double>(contribution.begin(), contribution.end()));
+    return {};
+  }
+  std::vector<double> out;
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) {
+      out.insert(out.end(), contribution.begin(), contribution.end());
+    } else {
+      const std::vector<double> part = recv(r, kTag);
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  return out;
+}
+
+std::vector<double> SimComm::allgatherv(std::span<const double> contribution) const {
+  std::vector<double> gathered = gatherv(contribution, 0);
+  return bcast(std::move(gathered), 0);
+}
+
+double SimComm::allreduce_sum(double value) const {
+  const std::vector<double> all = allgatherv(std::span<const double>(&value, 1));
+  double s = 0.0;
+  for (const double v : all) s += v;
+  return s;
+}
+
+double SimComm::allreduce_max(double value) const {
+  const std::vector<double> all = allgatherv(std::span<const double>(&value, 1));
+  double m = all.front();
+  for (const double v : all) m = std::max(m, v);
+  return m;
+}
+
+void SimCluster::run(int nranks, const RankMain& rank_main) {
+  if (nranks <= 0) throw std::invalid_argument("SimCluster::run: need at least one rank");
+  auto ctx = std::make_shared<CommContext>();
+  ctx->size = nranks;
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        rank_main(SimComm(ctx, r));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hddm::cluster

@@ -1,0 +1,71 @@
+// In-process message-passing runtime — the MPI substitute (see DESIGN.md).
+//
+// Ranks are threads; a communicator provides the MPI surface the paper's
+// scheme needs (Sec. IV-A): rank/size, barrier, split into
+// sub-communicators (one per discrete state), point-to-point sends,
+// broadcast, (all)gather and reductions. Only the transport differs from
+// MPI — the control flow of the distributed time iteration is unchanged.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace hddm::cluster {
+
+namespace detail {
+struct CommContext;
+}
+
+/// A communicator handle bound to one rank (like an MPI_Comm viewed from a
+/// process). Cheap to copy.
+class SimComm {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const;
+
+  /// Synchronizes all ranks of this communicator.
+  void barrier() const;
+
+  /// Splits into sub-communicators by color; ranks are ordered by (key,
+  /// old rank) — MPI_Comm_split semantics.
+  [[nodiscard]] SimComm split(int color, int key) const;
+
+  // --- point-to-point (blocking, tagged) --------------------------------
+  void send(int dest, int tag, std::vector<double> payload) const;
+  [[nodiscard]] std::vector<double> recv(int source, int tag) const;
+
+  // --- collectives over double payloads ---------------------------------
+  /// Broadcasts root's payload to every rank (returns it everywhere).
+  [[nodiscard]] std::vector<double> bcast(std::vector<double> payload, int root) const;
+  /// Concatenates every rank's contribution in rank order on all ranks.
+  [[nodiscard]] std::vector<double> allgatherv(std::span<const double> contribution) const;
+  /// Concatenation on root only (empty elsewhere).
+  [[nodiscard]] std::vector<double> gatherv(std::span<const double> contribution, int root) const;
+  [[nodiscard]] double allreduce_sum(double value) const;
+  [[nodiscard]] double allreduce_max(double value) const;
+
+ private:
+  friend class SimCluster;
+  SimComm(std::shared_ptr<detail::CommContext> ctx, int rank);
+
+  std::shared_ptr<detail::CommContext> ctx_;
+  int rank_ = 0;
+};
+
+/// Spawns `nranks` rank threads, each running `rank_main` with its world
+/// communicator, and joins them. Exceptions from ranks are rethrown (first
+/// one wins) after all ranks finished or aborted.
+class SimCluster {
+ public:
+  using RankMain = std::function<void(SimComm)>;
+  static void run(int nranks, const RankMain& rank_main);
+};
+
+}  // namespace hddm::cluster

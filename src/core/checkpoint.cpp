@@ -1,0 +1,105 @@
+#include "core/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse_grid/grid_storage.hpp"
+
+namespace hddm::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'D', 'D', 'M', 'P', 'O', 'L', '\1'};
+
+template <class T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_policy: truncated checkpoint");
+  return value;
+}
+
+}  // namespace
+
+void save_policy(const AsgPolicy& policy, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(policy.ndofs()));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(policy.num_shocks()));
+
+  for (int z = 0; z < policy.num_shocks(); ++z) {
+    const sg::DenseGridData& dense = policy.grid(z).dense();
+    write_pod<std::uint32_t>(out, dense.nno);
+    write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(dense.dim));
+    for (const sg::LevelIndex& li : dense.pairs) {
+      write_pod<std::uint8_t>(out, li.l);
+      write_pod<std::uint32_t>(out, li.i);
+    }
+    out.write(reinterpret_cast<const char*>(dense.surplus.data()),
+              static_cast<std::streamsize>(dense.surplus.size() * sizeof(double)));
+  }
+  if (!out) throw std::runtime_error("save_policy: stream write failed");
+}
+
+void save_policy(const AsgPolicy& policy, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_policy: cannot open " + path);
+  save_policy(policy, out);
+}
+
+std::shared_ptr<AsgPolicy> load_policy(std::istream& in, kernels::KernelKind kind) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("load_policy: bad magic (not an hddm policy checkpoint)");
+
+  const auto ndofs = read_pod<std::uint32_t>(in);
+  const auto nshocks = read_pod<std::uint32_t>(in);
+  if (ndofs == 0 || nshocks == 0 || nshocks > 1u << 20)
+    throw std::runtime_error("load_policy: implausible header");
+
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.reserve(nshocks);
+  for (std::uint32_t z = 0; z < nshocks; ++z) {
+    const auto nno = read_pod<std::uint32_t>(in);
+    const auto dim = read_pod<std::uint32_t>(in);
+    if (dim == 0 || dim > 4096) throw std::runtime_error("load_policy: implausible dimension");
+
+    sg::GridStorage storage(static_cast<int>(dim));
+    storage.reserve(nno);
+    sg::MultiIndex mi(dim);
+    for (std::uint32_t p = 0; p < nno; ++p) {
+      for (std::uint32_t t = 0; t < dim; ++t) {
+        mi[t].l = read_pod<std::uint8_t>(in);
+        mi[t].i = read_pod<std::uint32_t>(in);
+        if (!sg::is_valid_pair(mi[t]))
+          throw std::runtime_error("load_policy: corrupt (level,index) pair");
+      }
+      const auto [id, inserted] = storage.insert(mi);
+      if (!inserted) throw std::runtime_error("load_policy: duplicate grid point");
+      (void)id;
+    }
+
+    std::vector<double> surpluses(static_cast<std::size_t>(nno) * ndofs);
+    in.read(reinterpret_cast<char*>(surpluses.data()),
+            static_cast<std::streamsize>(surpluses.size() * sizeof(double)));
+    if (!in) throw std::runtime_error("load_policy: truncated surplus block");
+
+    grids.push_back(std::make_unique<ShockGrid>(storage, static_cast<int>(ndofs), surpluses, kind));
+  }
+  return std::make_shared<AsgPolicy>(static_cast<int>(ndofs), std::move(grids));
+}
+
+std::shared_ptr<AsgPolicy> load_policy(const std::string& path, kernels::KernelKind kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_policy: cannot open " + path);
+  return load_policy(in, kind);
+}
+
+}  // namespace hddm::core

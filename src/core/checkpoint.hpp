@@ -1,0 +1,36 @@
+// Binary checkpointing of ASG policies.
+//
+// The paper's experiments restart grids from coarser levels (Sec. V-C:
+// "a nonadaptive sparse grid of refinement level 4 that was restarted from a
+// sparse grid of level 2") and re-run with decreased refinement thresholds
+// (footnote 12). Production runs of that protocol need policies to survive
+// process boundaries; this module provides a versioned, self-describing
+// binary format for the complete policy p = (p(1), ..., p(Ns)).
+//
+// Format (little-endian):
+//   magic "HDDMPOL\1", u32 ndofs, u32 nshocks,
+//   per shock: u32 nno, u32 dim, nno*dim pairs (u8 level, u32 index),
+//              nno*ndofs f64 surpluses (dense point order).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "core/policy.hpp"
+#include "kernels/kernel_api.hpp"
+
+namespace hddm::core {
+
+/// Serializes the policy to a stream / file. Throws on I/O failure.
+void save_policy(const AsgPolicy& policy, std::ostream& out);
+void save_policy(const AsgPolicy& policy, const std::string& path);
+
+/// Restores a policy; the interpolation backend is chosen by the caller
+/// (checkpoints are portable across hosts with different ISA support).
+std::shared_ptr<AsgPolicy> load_policy(std::istream& in,
+                                       kernels::KernelKind kind = kernels::KernelKind::X86);
+std::shared_ptr<AsgPolicy> load_policy(const std::string& path,
+                                       kernels::KernelKind kind = kernels::KernelKind::X86);
+
+}  // namespace hddm::core

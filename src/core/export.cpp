@@ -1,0 +1,77 @@
+#include "core/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace hddm::core {
+
+void export_grid_csv(const AsgPolicy& policy, int z, std::ostream& out) {
+  const sg::DenseGridData& dense = policy.grid(z).dense();
+  const int d = dense.dim;
+  const int nd = dense.ndofs;
+
+  for (int t = 0; t < d; ++t) out << "l" << t << ",i" << t << ",";
+  for (int t = 0; t < d; ++t) out << "x" << t << ",";
+  for (int k = 0; k < nd; ++k) out << "a" << k << (k + 1 < nd ? "," : "\n");
+
+  for (std::uint32_t p = 0; p < dense.nno; ++p) {
+    const auto mi = dense.point(p);
+    for (int t = 0; t < d; ++t)
+      out << static_cast<int>(mi[static_cast<std::size_t>(t)].l) << ','
+          << mi[static_cast<std::size_t>(t)].i << ',';
+    const auto x = sg::point_coordinates(mi);
+    for (int t = 0; t < d; ++t) out << x[static_cast<std::size_t>(t)] << ',';
+    const double* row = dense.surplus_row(p);
+    for (int k = 0; k < nd; ++k) out << row[k] << (k + 1 < nd ? "," : "\n");
+  }
+  if (!out) throw std::runtime_error("export_grid_csv: write failed");
+}
+
+void export_grid_csv(const AsgPolicy& policy, int z, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("export_grid_csv: cannot open " + path);
+  export_grid_csv(policy, z, out);
+}
+
+void export_policy_slice_csv(const AsgPolicy& policy, int z, int axis,
+                             const std::vector<double>& fixed_point, int samples,
+                             std::ostream& out) {
+  const int nd = policy.ndofs();
+  if (axis < 0 || axis >= static_cast<int>(fixed_point.size()))
+    throw std::invalid_argument("export_policy_slice_csv: bad axis");
+  if (samples < 2) throw std::invalid_argument("export_policy_slice_csv: need >= 2 samples");
+
+  out << "x";
+  for (int k = 0; k < nd; ++k) out << ",dof" << k;
+  out << '\n';
+
+  std::vector<double> x = fixed_point;
+  std::vector<double> value(static_cast<std::size_t>(nd));
+  for (int s = 0; s < samples; ++s) {
+    x[static_cast<std::size_t>(axis)] = static_cast<double>(s) / (samples - 1);
+    policy.evaluate(z, x, value);
+    out << x[static_cast<std::size_t>(axis)];
+    for (int k = 0; k < nd; ++k) out << ',' << value[static_cast<std::size_t>(k)];
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("export_policy_slice_csv: write failed");
+}
+
+void export_history_csv(const std::vector<IterationStats>& history, std::ostream& out) {
+  out << "iteration,seconds,total_points,policy_change_l2,policy_change_linf,"
+         "euler_residual,solver_failures,interpolations\n";
+  for (const IterationStats& st : history) {
+    out << st.iteration << ',' << st.seconds << ',' << st.total_points << ','
+        << st.policy_change_l2 << ',' << st.policy_change_linf << ',' << st.euler_residual
+        << ',' << st.solver_failures << ',' << st.interpolations << '\n';
+  }
+  if (!out) throw std::runtime_error("export_history_csv: write failed");
+}
+
+void export_history_csv(const std::vector<IterationStats>& history, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("export_history_csv: cannot open " + path);
+  export_history_csv(history, out);
+}
+
+}  // namespace hddm::core

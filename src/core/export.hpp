@@ -1,0 +1,31 @@
+// CSV export of grids, policies and iteration histories — the plotting
+// interface of the bench harness (the paper's figures are line plots over
+// exactly these series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/time_iteration.hpp"
+
+namespace hddm::core {
+
+/// One row per grid point of shock z: level/index pairs, coordinates and the
+/// surpluses. Columns: l0,i0,...,l{d-1},i{d-1},x0,...,x{d-1},a0,...,a{nd-1}.
+void export_grid_csv(const AsgPolicy& policy, int z, std::ostream& out);
+void export_grid_csv(const AsgPolicy& policy, int z, const std::string& path);
+
+/// Policy slice along one unit-cube axis (others fixed): columns
+/// x, dof0, ..., dof{nd-1}; `samples` evaluation points.
+void export_policy_slice_csv(const AsgPolicy& policy, int z, int axis,
+                             const std::vector<double>& fixed_point, int samples,
+                             std::ostream& out);
+
+/// Iteration history (the Fig. 9 series): iteration, seconds, points,
+/// policy-change norms, Euler residual, solver failures.
+void export_history_csv(const std::vector<IterationStats>& history, std::ostream& out);
+void export_history_csv(const std::vector<IterationStats>& history, const std::string& path);
+
+}  // namespace hddm::core

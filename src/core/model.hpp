@@ -1,0 +1,77 @@
+// Abstract interfaces between the time-iteration driver and an economic
+// model — the generic structure of Sec. II-A.
+//
+// A model exposes: a mixed state space (Ns discrete shocks x a continuous
+// box B mapped to [0,1]^d), a per-point equilibrium system solved given the
+// previous iteration's policy, and the policy arity ndofs (the OLG model's
+// 2d asset-demand + value-function coefficients). The driver owns the ASGs;
+// the model only ever sees a PolicyEvaluator, so any interpolation backend
+// (reference, compressed kernels, hybrid CPU/device dispatch) can serve as
+// p_next.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse_grid/domain.hpp"
+
+namespace hddm::core {
+
+/// Read-side view of a policy p = (p(z=1,.), ..., p(z=Ns,.)): evaluates all
+/// ndofs coefficients of shock z's policy at a unit-cube point. Must be
+/// thread-safe; called from many workers at once.
+class PolicyEvaluator {
+ public:
+  virtual ~PolicyEvaluator() = default;
+  [[nodiscard]] virtual int num_shocks() const = 0;
+  [[nodiscard]] virtual int ndofs() const = 0;
+  /// out[0..ndofs) = p(z, x); x has the model's state dimension.
+  virtual void evaluate(int z, std::span<const double> x_unit, std::span<double> out) const = 0;
+};
+
+/// Result of one grid-point equilibrium solve.
+struct PointSolveResult {
+  std::vector<double> dofs;  ///< the ndofs policy coefficients at the point
+  bool converged = false;
+  int solver_iterations = 0;
+  double residual_norm = 0.0;
+  int interpolations = 0;  ///< p_next evaluations consumed (the 99% cost)
+};
+
+/// A dynamic stochastic model solvable by time iteration (Algorithm 1).
+class DynamicModel {
+ public:
+  virtual ~DynamicModel() = default;
+
+  [[nodiscard]] virtual int state_dim() const = 0;   ///< d
+  [[nodiscard]] virtual int num_shocks() const = 0;  ///< Ns
+  [[nodiscard]] virtual int ndofs() const = 0;       ///< policy arity per point
+  [[nodiscard]] virtual const sg::BoxDomain& domain() const = 0;
+
+  /// Number of *leading* dofs that drive adaptive refinement indicators and
+  /// the convergence metric. Defaults to all dofs; the OLG model restricts
+  /// both to the asset-demand coefficients — value functions are derived
+  /// objects whose extreme magnitudes at infeasible box corners would
+  /// otherwise dominate g(alpha) and the policy-change norms.
+  [[nodiscard]] virtual int indicator_dofs() const { return ndofs(); }
+
+  /// Analytic warm-start policy for iteration 0.
+  [[nodiscard]] virtual std::vector<double> initial_policy(int z,
+                                                           std::span<const double> x_unit) const = 0;
+
+  /// Solves the equilibrium conditions (Eq. 3) at one grid point of shock z,
+  /// taking the previous iteration's policy as given. `warm_start` is the
+  /// previous policy at this very point (size ndofs) — the natural Newton
+  /// initial guess.
+  [[nodiscard]] virtual PointSolveResult solve_point(int z, std::span<const double> x_unit,
+                                                     const PolicyEvaluator& p_next,
+                                                     std::span<const double> warm_start) const = 0;
+
+  /// Sup-norm-normalized equilibrium residual at an arbitrary point under
+  /// policy `p` (used for the Fig. 9 error metrics). Returns a scalar norm
+  /// over the model's equilibrium equations.
+  [[nodiscard]] virtual double equilibrium_residual(int z, std::span<const double> x_unit,
+                                                    const PolicyEvaluator& p) const = 0;
+};
+
+}  // namespace hddm::core

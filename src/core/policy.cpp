@@ -1,0 +1,58 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hddm::core {
+
+ShockGrid::ShockGrid(const sg::GridStorage& storage, int ndofs, std::span<const double> surpluses,
+                     kernels::KernelKind kind)
+    : dense_(sg::make_dense_grid(storage, ndofs, surpluses)), compressed_(compress(dense_)) {
+  kernel_ = kernels::make_kernel(kind, &dense_, &compressed_);
+}
+
+AsgPolicy::AsgPolicy(int ndofs, std::vector<std::unique_ptr<ShockGrid>> grids)
+    : ndofs_(ndofs), grids_(std::move(grids)) {
+  if (grids_.empty()) throw std::invalid_argument("AsgPolicy: need at least one shock grid");
+  for (const auto& g : grids_) {
+    if (g == nullptr || g->ndofs() != ndofs_)
+      throw std::invalid_argument("AsgPolicy: inconsistent shock grids");
+  }
+}
+
+void AsgPolicy::evaluate(int z, std::span<const double> x_unit, std::span<double> out) const {
+  const auto& grid = *grids_[static_cast<std::size_t>(z)];
+  if (dispatcher_ != nullptr) {
+    const auto& dev = *device_kernels_[static_cast<std::size_t>(z)];
+    if (dispatcher_->try_offload(dev, x_unit.data(), out.data())) return;
+  }
+  grid.evaluate(x_unit, out);
+}
+
+std::uint32_t AsgPolicy::total_points() const {
+  std::uint32_t total = 0;
+  for (const auto& g : grids_) total += g->num_points();
+  return total;
+}
+
+std::vector<std::uint32_t> AsgPolicy::points_per_shock() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(grids_.size());
+  for (const auto& g : grids_) out.push_back(g->num_points());
+  return out;
+}
+
+void AsgPolicy::attach_device(
+    std::vector<std::unique_ptr<kernels::InterpolationKernel>> device_kernels,
+    std::size_t queue_capacity) {
+  if (device_kernels.size() != grids_.size())
+    throw std::invalid_argument("attach_device: one kernel per shock required");
+  device_kernels_ = std::move(device_kernels);
+  dispatcher_ = std::make_unique<parallel::DeviceDispatcher>(queue_capacity);
+}
+
+std::uint64_t AsgPolicy::device_offloaded() const {
+  return dispatcher_ ? dispatcher_->offloaded() : 0;
+}
+
+}  // namespace hddm::core

@@ -1,0 +1,91 @@
+// ASG-backed policy functions: one adaptive sparse grid per discrete shock
+// (Sec. IV: "an individual ASG per discrete state z").
+//
+// AsgPolicy is the p_next object the equilibrium solves interpolate on. Each
+// shock's grid carries the dense point set, the compressed index structure
+// of Sec. IV-B and an optimized interpolation kernel; an optional device
+// dispatcher partially offloads evaluations (Sec. IV-A's hybrid scheme).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/compression.hpp"
+#include "core/model.hpp"
+#include "kernels/kernel_api.hpp"
+#include "parallel/device_dispatcher.hpp"
+#include "sparse_grid/dense_format.hpp"
+#include "sparse_grid/grid_storage.hpp"
+
+namespace hddm::core {
+
+/// One shock's ASG: points + surpluses in both storage formats + kernel.
+class ShockGrid {
+ public:
+  /// Builds from a point set and final surpluses (point-major, ndofs each).
+  ShockGrid(const sg::GridStorage& storage, int ndofs, std::span<const double> surpluses,
+            kernels::KernelKind kind);
+
+  [[nodiscard]] std::uint32_t num_points() const { return dense_.nno; }
+  [[nodiscard]] int ndofs() const { return dense_.ndofs; }
+  [[nodiscard]] const sg::DenseGridData& dense() const { return dense_; }
+  [[nodiscard]] const CompressedGridData& compressed() const { return compressed_; }
+  [[nodiscard]] const kernels::InterpolationKernel& kernel() const { return *kernel_; }
+
+  void evaluate(std::span<const double> x_unit, std::span<double> out) const {
+    kernel_->evaluate(x_unit.data(), out.data());
+  }
+
+ private:
+  sg::DenseGridData dense_;
+  CompressedGridData compressed_;
+  std::unique_ptr<kernels::InterpolationKernel> kernel_;
+};
+
+/// The complete policy p = (p(z=1,.), ..., p(z=Ns,.)).
+class AsgPolicy final : public PolicyEvaluator {
+ public:
+  AsgPolicy(int ndofs, std::vector<std::unique_ptr<ShockGrid>> grids);
+
+  [[nodiscard]] int num_shocks() const override { return static_cast<int>(grids_.size()); }
+  [[nodiscard]] int ndofs() const override { return ndofs_; }
+  void evaluate(int z, std::span<const double> x_unit, std::span<double> out) const override;
+
+  [[nodiscard]] const ShockGrid& grid(int z) const { return *grids_[static_cast<std::size_t>(z)]; }
+  [[nodiscard]] std::uint32_t total_points() const;
+  [[nodiscard]] std::vector<std::uint32_t> points_per_shock() const;
+
+  /// Attaches a device kernel (one per shock is wasteful; the dispatcher
+  /// owns a single simulated accelerator shared by all shocks — mirroring
+  /// one GPU per node). Subsequent evaluate() calls try the device first and
+  /// fall back to the CPU kernel when it is busy.
+  void attach_device(std::vector<std::unique_ptr<kernels::InterpolationKernel>> device_kernels,
+                     std::size_t queue_capacity = 16);
+  [[nodiscard]] std::uint64_t device_offloaded() const;
+
+ private:
+  int ndofs_;
+  std::vector<std::unique_ptr<ShockGrid>> grids_;
+  // Device path: one kernel per shock bound to that shock's compressed grid,
+  // all served by one dispatcher thread (the "GPU thread" of Fig. 2).
+  std::vector<std::unique_ptr<kernels::InterpolationKernel>> device_kernels_;
+  std::unique_ptr<parallel::DeviceDispatcher> dispatcher_;
+};
+
+/// Iteration-0 policy: wraps DynamicModel::initial_policy.
+class InitialPolicyEvaluator final : public PolicyEvaluator {
+ public:
+  explicit InitialPolicyEvaluator(const DynamicModel& model) : model_(model) {}
+  [[nodiscard]] int num_shocks() const override { return model_.num_shocks(); }
+  [[nodiscard]] int ndofs() const override { return model_.ndofs(); }
+  void evaluate(int z, std::span<const double> x_unit, std::span<double> out) const override {
+    const std::vector<double> dofs = model_.initial_policy(z, x_unit);
+    std::copy(dofs.begin(), dofs.end(), out.begin());
+  }
+
+ private:
+  const DynamicModel& model_;
+};
+
+}  // namespace hddm::core

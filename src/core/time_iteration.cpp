@@ -1,0 +1,248 @@
+#include "core/time_iteration.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "sparse_grid/adaptive.hpp"
+#include "sparse_grid/hierarchize.hpp"
+#include "sparse_grid/regular.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace hddm::core {
+
+TimeIterationDriver::TimeIterationDriver(const DynamicModel& model, TimeIterationOptions options)
+    : model_(model), opts_(std::move(options)) {
+  if (opts_.base_level < 1) throw std::invalid_argument("TimeIteration: base_level must be >= 1");
+  if (opts_.max_level < opts_.base_level)
+    throw std::invalid_argument("TimeIteration: max_level must be >= base_level");
+  pool_ = std::make_unique<parallel::WorkStealingPool>(opts_.threads);
+}
+
+TimeIterationDriver::BuiltShock TimeIterationDriver::build_shock(int z,
+                                                                 const PolicyEvaluator& p_next,
+                                                                 IterationStats& stats) {
+  const int d = model_.state_dim();
+  const int nd = model_.ndofs();
+  const int nd_ind = model_.indicator_dofs();
+
+  sg::GridStorage storage(d);
+  sg::DenseGridData dense;
+  dense.dim = d;
+  dense.ndofs = nd;
+
+  BuiltShock built;
+  std::atomic<std::uint32_t> failures{0};
+  std::atomic<std::uint64_t> interpolations{0};
+  std::atomic<double> linf_acc{stats.policy_change_linf};
+  std::atomic<double> l2_acc{stats.policy_change_l2};
+
+  // Per-dof normalization scales for the refinement indicator, measured from
+  // the base-level nodal values (policy coefficients differ in magnitude
+  // across ages). Only the leading indicator_dofs() drive refinement and the
+  // convergence metric.
+  std::vector<double> dof_scale(static_cast<std::size_t>(nd_ind), 0.0);
+  bool scales_ready = false;
+
+  std::vector<double> last_indicators;  // g(alpha) of the newest level's points
+  std::uint32_t last_first = 0;         // first id of the newest level
+
+  for (int level = 1; level <= opts_.max_level; ++level) {
+    const std::uint32_t n_known = storage.size();
+    if (level <= opts_.base_level) {
+      sg::append_level_increment(storage, level);
+    } else {
+      if (opts_.refine_epsilon <= 0.0) break;
+      const sg::RefinementOptions ropts{opts_.refine_epsilon, opts_.max_level, true};
+      sg::refine_by_surplus(storage, last_first, last_indicators, ropts);
+    }
+    if (storage.size() == n_known) break;  // nothing new -> done
+    const std::uint32_t n_new = storage.size() - n_known;
+
+    // Extend the dense mirror with the new points' pairs and empty rows.
+    const auto flat = storage.flat_pairs();
+    dense.pairs.assign(flat.begin(), flat.end());
+    dense.nno = storage.size();
+    dense.surplus.resize(static_cast<std::size_t>(dense.nno) * nd, 0.0);
+
+    // --- Solve the equilibrium at every new point (the Fig. 2 inner loop).
+    {
+      const util::ScopedAccumulator acc(stats.solve_seconds);
+      parallel::parallel_for(
+          *pool_, n_known, storage.size(),
+          [&](std::size_t idx) {
+            const auto id = static_cast<std::uint32_t>(idx);
+            const std::vector<double> x_unit = storage.coordinates(id);
+
+            // Warm start = previous policy at this very point (one more
+            // p_next interpolation, possibly offloaded to the device).
+            std::vector<double> warm(static_cast<std::size_t>(nd));
+            p_next.evaluate(z, x_unit, warm);
+            interpolations.fetch_add(1, std::memory_order_relaxed);
+
+            PointSolveResult res = model_.solve_point(z, x_unit, p_next, warm);
+            if (!res.converged) failures.fetch_add(1, std::memory_order_relaxed);
+            interpolations.fetch_add(static_cast<std::uint64_t>(res.interpolations),
+                                     std::memory_order_relaxed);
+            std::copy(res.dofs.begin(), res.dofs.end(), dense.surplus_row(id));
+
+            // Policy-change metric: normalized difference to p_next at the
+            // point (warm holds the old policy's values here).
+            double linf = 0.0, l2 = 0.0;
+            for (int dof = 0; dof < nd_ind; ++dof) {
+              const double diff =
+                  std::fabs(res.dofs[static_cast<std::size_t>(dof)] - warm[static_cast<std::size_t>(dof)]) /
+                  (1.0 + std::fabs(warm[static_cast<std::size_t>(dof)]));
+              linf = std::max(linf, diff);
+              l2 += diff * diff;
+            }
+            // Lock-free max / sum accumulation (once per point, not per dof).
+            double cur = linf_acc.load(std::memory_order_relaxed);
+            while (linf > cur && !linf_acc.compare_exchange_weak(cur, linf)) {
+            }
+            cur = l2_acc.load(std::memory_order_relaxed);
+            while (!l2_acc.compare_exchange_weak(cur, cur + l2)) {
+            }
+          },
+          /*grain=*/1);
+    }
+
+    // --- Hierarchize the new nodal values into surpluses.
+    {
+      const util::ScopedAccumulator acc(stats.hierarchize_seconds);
+      sg::hierarchize_tail(dense, n_known);
+    }
+
+    // --- Refinement indicators for the next round.
+    if (!scales_ready) {
+      for (std::uint32_t p = 0; p < dense.nno; ++p) {
+        const double* row = dense.surplus_row(p);
+        for (int dof = 0; dof < nd_ind; ++dof)
+          dof_scale[static_cast<std::size_t>(dof)] =
+              std::max(dof_scale[static_cast<std::size_t>(dof)], std::fabs(row[dof]));
+      }
+      for (double& s : dof_scale) s = std::max(s, 1e-8);
+      scales_ready = true;
+    }
+    last_first = n_known;
+    last_indicators.assign(n_new, 0.0);
+    for (std::uint32_t k = 0; k < n_new; ++k) {
+      const double* row = dense.surplus_row(n_known + k);
+      double g = 0.0;
+      for (int dof = 0; dof < nd_ind; ++dof)
+        g = std::max(g, std::fabs(row[dof]) / dof_scale[static_cast<std::size_t>(dof)]);
+      last_indicators[k] = g;
+    }
+  }
+
+  stats.policy_change_linf = linf_acc.load();
+  stats.policy_change_l2 = l2_acc.load();
+  built.solver_failures = failures.load();
+  built.interpolations = interpolations.load();
+  built.grid = std::make_unique<ShockGrid>(storage, nd,
+                                           std::span<const double>(dense.surplus.data(),
+                                                                   dense.surplus.size()),
+                                           opts_.kernel);
+  return built;
+}
+
+std::shared_ptr<AsgPolicy> TimeIterationDriver::step(const PolicyEvaluator& p_next,
+                                                     IterationStats& stats) {
+  const util::Timer timer;
+  const int Ns = model_.num_shocks();
+
+  stats.policy_change_l2 = 0.0;
+  stats.policy_change_linf = 0.0;
+
+  std::vector<std::unique_ptr<ShockGrid>> grids(static_cast<std::size_t>(Ns));
+  // The top parallel layer (shocks -> MPI groups) lives in src/cluster/;
+  // within one process the shocks are built in turn, each using the full
+  // thread pool — matching one MPI group's view of Fig. 2.
+  std::uint32_t total_points = 0;
+  for (int z = 0; z < Ns; ++z) {
+    BuiltShock built = build_shock(z, p_next, stats);
+    stats.solver_failures += built.solver_failures;
+    stats.interpolations += built.interpolations;
+    total_points += built.grid->num_points();
+    grids[static_cast<std::size_t>(z)] = std::move(built.grid);
+  }
+
+  auto policy = std::make_shared<AsgPolicy>(model_.ndofs(), std::move(grids));
+  if (opts_.use_device) {
+    std::vector<std::unique_ptr<kernels::InterpolationKernel>> dev;
+    dev.reserve(static_cast<std::size_t>(Ns));
+    for (int z = 0; z < Ns; ++z)
+      dev.push_back(kernels::make_kernel(opts_.device_kernel, &policy->grid(z).dense(),
+                                         &policy->grid(z).compressed()));
+    policy->attach_device(std::move(dev));
+  }
+
+  // Normalize the accumulated L2 change into an RMS over (points x dofs).
+  const double cells = static_cast<double>(total_points) * model_.indicator_dofs();
+  if (cells > 0.0) stats.policy_change_l2 = std::sqrt(stats.policy_change_l2 / cells);
+
+  stats.total_points = total_points;
+  stats.points_per_shock = policy->points_per_shock();
+  stats.seconds = timer.seconds();
+  return policy;
+}
+
+TimeIterationResult TimeIterationDriver::run() {
+  TimeIterationResult result;
+
+  util::Rng residual_rng(opts_.seed);
+  const InitialPolicyEvaluator initial(model_);
+  const PolicyEvaluator* p_next = &initial;
+  std::shared_ptr<AsgPolicy> current;
+
+  for (int it = 0; it < opts_.max_iterations; ++it) {
+    IterationStats stats;
+    stats.iteration = it;
+    std::shared_ptr<AsgPolicy> next = step(*p_next, stats);
+
+    if (opts_.residual_samples > 0) {
+      util::RunningStats rs;
+      std::vector<double> x(static_cast<std::size_t>(model_.state_dim()));
+      for (int z = 0; z < model_.num_shocks(); ++z) {
+        for (int s = 0; s < opts_.residual_samples; ++s) {
+          for (double& xi : x) xi = residual_rng.uniform();
+          rs.add(model_.equilibrium_residual(z, x, *next));
+        }
+      }
+      stats.euler_residual = rs.mean();
+    }
+
+    result.history.push_back(stats);
+    if (on_iteration) on_iteration(stats);
+    util::log_info("time-iteration it=", it, " points=", stats.total_points,
+                   " dlinf=", stats.policy_change_linf, " dl2=", stats.policy_change_l2,
+                   " fails=", stats.solver_failures, " secs=", stats.seconds);
+
+    current = std::move(next);
+    p_next = current.get();
+    result.iterations = it + 1;
+    result.final_change = stats.policy_change_linf;
+    // Iteration 0 measures the distance to the analytic warm start, not to a
+    // solved policy — never declare convergence on it.
+    if (it > 0 && stats.policy_change_linf < opts_.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.policy = std::move(current);
+  return result;
+}
+
+TimeIterationResult solve_time_iteration(const DynamicModel& model,
+                                         const TimeIterationOptions& options) {
+  TimeIterationDriver driver(model, options);
+  return driver.run();
+}
+
+}  // namespace hddm::core

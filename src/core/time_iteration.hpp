@@ -1,0 +1,110 @@
+// Time iteration (Algorithm 1) with per-shock adaptive sparse grids and the
+// single-node part of the hybrid parallelization scheme of Sec. IV-A.
+//
+// Each iteration rebuilds every shock's ASG level by level: solve the
+// equilibrium system at the level's new points (work-stealing pool, optional
+// device offload of p_next interpolations), hierarchize the new surpluses
+// incrementally, refine adaptively where the surplus indicator exceeds the
+// threshold epsilon, and stop at the level cap. Convergence is measured as
+// the change between successive policies on the asset-demand coefficients.
+// The distributed (multi-rank) variant lives in src/cluster/.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/policy.hpp"
+#include "kernels/kernel_api.hpp"
+#include "parallel/work_stealing_pool.hpp"
+
+namespace hddm::core {
+
+struct TimeIterationOptions {
+  /// Regular sparse-grid level built unconditionally each iteration.
+  int base_level = 2;
+  /// Adaptive refinement threshold epsilon; <= 0 disables adaptivity.
+  double refine_epsilon = 0.0;
+  /// Level cap for adaptive refinement (the paper's Lmax = 6).
+  int max_level = 6;
+
+  int max_iterations = 100;
+  /// Convergence tolerance on the sup-norm policy change (asset dofs).
+  double tolerance = 1e-4;
+
+  std::size_t threads = 1;
+  kernels::KernelKind kernel = kernels::KernelKind::X86;
+  /// Offload p_next interpolations to the simulated accelerator through the
+  /// dedicated dispatcher thread.
+  bool use_device = false;
+  kernels::KernelKind device_kernel = kernels::KernelKind::SimGpu;
+
+  /// Extra diagnostics: Euler residuals at `residual_samples` random
+  /// off-grid points per shock each iteration (0 disables).
+  int residual_samples = 0;
+  std::uint64_t seed = 42;
+};
+
+struct IterationStats {
+  int iteration = 0;
+  double policy_change_l2 = 0.0;    ///< RMS change over grid points (asset dofs)
+  double policy_change_linf = 0.0;  ///< sup-norm change
+  double euler_residual = 0.0;      ///< mean sampled residual (if enabled)
+  std::uint32_t total_points = 0;
+  std::vector<std::uint32_t> points_per_shock;
+  std::uint32_t solver_failures = 0;
+  std::uint64_t interpolations = 0;
+  double seconds = 0.0;
+  double solve_seconds = 0.0;
+  double hierarchize_seconds = 0.0;
+};
+
+struct TimeIterationResult {
+  std::shared_ptr<AsgPolicy> policy;
+  std::vector<IterationStats> history;
+  bool converged = false;
+  int iterations = 0;
+  double final_change = 0.0;
+  [[nodiscard]] double total_seconds() const {
+    double s = 0.0;
+    for (const auto& st : history) s += st.seconds;
+    return s;
+  }
+};
+
+class TimeIterationDriver {
+ public:
+  TimeIterationDriver(const DynamicModel& model, TimeIterationOptions options);
+
+  /// Runs Algorithm 1 to convergence (or the iteration cap).
+  TimeIterationResult run();
+
+  /// Performs exactly one policy update given p_next; exposed for the
+  /// single-node benchmark (Fig. 7 evaluates "a single time step") and for
+  /// the cluster runtime which orchestrates iterations itself.
+  std::shared_ptr<AsgPolicy> step(const PolicyEvaluator& p_next, IterationStats& stats);
+
+  /// Optional per-iteration observer (progress logging in examples/benches).
+  std::function<void(const IterationStats&)> on_iteration;
+
+ private:
+  /// Builds one shock's grid + surpluses by level-wise solve/refine.
+  struct BuiltShock {
+    std::unique_ptr<ShockGrid> grid;
+    std::uint32_t solver_failures = 0;
+    std::uint64_t interpolations = 0;
+  };
+  BuiltShock build_shock(int z, const PolicyEvaluator& p_next, IterationStats& stats);
+
+  const DynamicModel& model_;
+  TimeIterationOptions opts_;
+  std::unique_ptr<parallel::WorkStealingPool> pool_;
+};
+
+/// Convenience entry point.
+TimeIterationResult solve_time_iteration(const DynamicModel& model,
+                                         const TimeIterationOptions& options);
+
+}  // namespace hddm::core

@@ -1,0 +1,164 @@
+#include "irbc/irbc_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hddm::irbc {
+
+namespace {
+
+sg::BoxDomain build_domain(const IrbcCalibration& cal) {
+  const int d = cal.countries;
+  std::vector<double> lo(static_cast<std::size_t>(d), 1.0 - cal.box_half_width);
+  std::vector<double> hi(static_cast<std::size_t>(d), 1.0 + cal.box_half_width);
+  return sg::BoxDomain(std::move(lo), std::move(hi));
+}
+
+}  // namespace
+
+IrbcModel::IrbcModel(IrbcCalibration cal)
+    : cal_(cal), prefs_(cal.gamma, 1e-4), domain_(build_domain(cal)) {
+  if (cal_.countries < 1) throw std::invalid_argument("IrbcModel: need at least one country");
+  if (cal_.beta <= 0.0 || cal_.beta >= 1.0)
+    throw std::invalid_argument("IrbcModel: beta must be in (0,1)");
+  if (cal_.theta <= 0.0 || cal_.theta >= 1.0)
+    throw std::invalid_argument("IrbcModel: theta must be in (0,1)");
+
+  // Normalize TFP so the deterministic steady state is k = 1:
+  //   theta A k^(theta-1) + 1 - delta = 1/beta  at k = 1.
+  tfp_scale_ = (1.0 / cal_.beta - 1.0 + cal_.delta) / cal_.theta;
+
+  // Shock states: sign patterns over min(countries, max_shock_bits) bits;
+  // countries beyond the bit budget share the last bit (a "regional" shock).
+  const int bits = std::min(cal_.countries, std::max(1, cal_.max_shock_bits));
+  const auto nstates = static_cast<std::size_t>(1) << bits;
+  state_signs_.resize(nstates);
+  for (std::size_t z = 0; z < nstates; ++z) state_signs_[z] = static_cast<int>(z);
+  chain_ = olg::MarkovChain::persistent_uniform(nstates, cal_.shock_persistence);
+}
+
+double IrbcModel::productivity(int z, int country) const {
+  const int bits = std::min(cal_.countries, std::max(1, cal_.max_shock_bits));
+  const int bit = std::min(country, bits - 1);
+  const bool positive = (state_signs_[static_cast<std::size_t>(z)] >> bit) & 1;
+  return 1.0 + (positive ? cal_.sigma : -cal_.sigma);
+}
+
+double IrbcModel::consumption(int z, std::span<const double> k,
+                              std::span<const double> k_next) const {
+  const int N = cal_.countries;
+  double resources = 0.0;
+  for (int j = 0; j < N; ++j) {
+    const double kj = k[static_cast<std::size_t>(j)];
+    const double kn = k_next[static_cast<std::size_t>(j)];
+    const double ratio = kn / kj - 1.0;
+    resources += productivity(z, j) * tfp_scale_ * std::pow(kj, cal_.theta) +
+                 (1.0 - cal_.delta) * kj - kn - 0.5 * cal_.phi * kj * ratio * ratio;
+  }
+  return resources / static_cast<double>(N);
+}
+
+void IrbcModel::euler_residuals(int z, std::span<const double> k, std::span<const double> k_next,
+                                const core::PolicyEvaluator& p_next, std::span<double> out,
+                                int* interp_count) const {
+  const int N = cal_.countries;
+  const int Ns = num_shocks();
+
+  const double c_today = consumption(z, k, k_next);
+  const double mu_today = prefs_.marginal_utility(std::max(c_today, 1e-6));
+
+  // Tomorrow's state (shock-independent, chosen today) and the interpolated
+  // day-after policies per successor shock.
+  const std::vector<double> x_unit = domain_.to_unit(k_next);
+  thread_local std::vector<double> dofs;
+  dofs.resize(static_cast<std::size_t>(N));
+
+  std::vector<double> expected(static_cast<std::size_t>(N), 0.0);
+  const auto pi = chain_.row(static_cast<std::size_t>(z));
+  for (int zp = 0; zp < Ns; ++zp) {
+    const double prob = pi[static_cast<std::size_t>(zp)];
+    if (prob == 0.0) continue;
+    p_next.evaluate(zp, x_unit, dofs);
+    if (interp_count != nullptr) ++(*interp_count);
+
+    const double c_tomorrow = consumption(zp, k_next, dofs);
+    const double mu_tomorrow = prefs_.marginal_utility(std::max(c_tomorrow, 1e-6));
+    for (int j = 0; j < N; ++j) {
+      const double kn = k_next[static_cast<std::size_t>(j)];
+      const double g = dofs[static_cast<std::size_t>(j)] / kn;
+      const double gross_return = productivity(zp, j) * tfp_scale_ * cal_.theta *
+                                      std::pow(kn, cal_.theta - 1.0) +
+                                  1.0 - cal_.delta + 0.5 * cal_.phi * (g * g - 1.0);
+      expected[static_cast<std::size_t>(j)] += prob * mu_tomorrow * gross_return;
+    }
+  }
+
+  for (int j = 0; j < N; ++j) {
+    const double marginal_cost =
+        mu_today * (1.0 + cal_.phi * (k_next[static_cast<std::size_t>(j)] /
+                                          k[static_cast<std::size_t>(j)] -
+                                      1.0));
+    // Unit-free: 1 - beta E[...] / marginal cost; identical roots, O(1)
+    // scale regardless of the consumption level.
+    out[static_cast<std::size_t>(j)] =
+        1.0 - cal_.beta * expected[static_cast<std::size_t>(j)] / marginal_cost;
+  }
+}
+
+std::vector<double> IrbcModel::initial_policy(int z, std::span<const double> x_unit) const {
+  (void)z;
+  // k' = k: the identity policy is the steady-state fixed point and an
+  // excellent warm start anywhere in the +/-20% box.
+  return domain_.to_physical(x_unit);
+}
+
+core::PointSolveResult IrbcModel::solve_point(int z, std::span<const double> x_unit,
+                                              const core::PolicyEvaluator& p_next,
+                                              std::span<const double> warm_start) const {
+  const int N = cal_.countries;
+  const std::vector<double> k = domain_.to_physical(x_unit);
+
+  core::PointSolveResult result;
+  int interp = 0;
+  const solver::ResidualFn residual = [this, z, &k, &p_next, &interp](
+                                          std::span<const double> u, std::span<double> out) {
+    euler_residuals(z, k, u, p_next, out, &interp);
+  };
+
+  solver::NewtonOptions newton;
+  newton.max_iterations = 80;
+  newton.tolerance = 1e-10;
+  newton.fd_epsilon = 1e-7;
+  // Keep iterates in a generous positive region (adjustment costs blow up
+  // long before these bind in practice).
+  newton.lower.assign(static_cast<std::size_t>(N), 0.2);
+  newton.upper.assign(static_cast<std::size_t>(N), 3.0);
+
+  const std::vector<double> guess(warm_start.begin(), warm_start.begin() + N);
+  const solver::NewtonResult nres = solve_newton(residual, guess, newton);
+
+  result.converged = nres.converged();
+  result.solver_iterations = nres.iterations;
+  result.residual_norm = nres.residual_norm;
+  result.dofs = nres.solution;
+  result.interpolations = interp;
+  return result;
+}
+
+double IrbcModel::equilibrium_residual(int z, std::span<const double> x_unit,
+                                       const core::PolicyEvaluator& p) const {
+  const int N = cal_.countries;
+  const std::vector<double> k = domain_.to_physical(x_unit);
+  std::vector<double> k_next(static_cast<std::size_t>(N));
+  p.evaluate(z, x_unit, k_next);
+  for (double& v : k_next) v = std::clamp(v, 0.2, 3.0);
+
+  std::vector<double> res(static_cast<std::size_t>(N));
+  euler_residuals(z, k, k_next, p, res, nullptr);
+  double worst = 0.0;
+  for (const double r : res) worst = std::max(worst, std::fabs(r));
+  return worst;
+}
+
+}  // namespace hddm::irbc

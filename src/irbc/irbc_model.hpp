@@ -1,0 +1,97 @@
+// International Real Business Cycle (IRBC) model.
+//
+// The time-iteration + ASG machinery of this paper descends from the
+// authors' IRBC solvers (Brumm & Scheidegger, Econometrica 2017 [17];
+// Brumm, Mikushin, Scheidegger & Schenk, JoCS 2015 [18] — both cited in
+// Sec. I). Implementing that model class against the same core::DynamicModel
+// interface demonstrates that the driver, kernels, scheduler and cluster
+// runtime are economy-agnostic: nothing outside this directory changes.
+//
+// Model (the standard smooth multi-country planner problem):
+//   N countries, capital k_j (the continuous state, d = N), discrete
+//   productivity state z mapping to per-country TFP a_j(z) = 1 +/- sigma
+//   (sign pattern = bit j of z), persistent Markov switching.
+//   Technology: y_j = a_j A k_j^theta, depreciation delta, quadratic capital
+//   adjustment costs Gamma_j = (phi/2) k_j (k'_j/k_j - 1)^2.
+//   Complete markets + symmetric CRRA preferences -> consumption equalized:
+//   c = (1/N) Sum_j [ y_j + (1-delta) k_j - k'_j - Gamma_j ].
+//   Planner Euler equation per country (unit-free form used as residual):
+//     1 = beta E[ u'(c') ( a'_j theta A k'^(theta-1) + 1 - delta
+//                          + (phi/2)((k''_j/k'_j)^2 - 1) ) ]
+//         / ( u'(c) (1 + phi (k'_j/k_j - 1)) ).
+//   A is normalized so the deterministic steady state is k_j = 1.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "olg/markov.hpp"
+#include "olg/preferences.hpp"
+#include "solver/newton.hpp"
+
+namespace hddm::irbc {
+
+struct IrbcCalibration {
+  int countries = 4;       ///< N = d
+  double beta = 0.99;
+  double gamma = 2.0;      ///< CRRA curvature
+  double theta = 0.36;     ///< capital share
+  double delta = 0.025;
+  double phi = 0.5;        ///< adjustment cost curvature
+  double sigma = 0.02;     ///< TFP deviation of booms/busts
+  double shock_persistence = 0.9;
+  /// Number of discrete states = 2^min(countries, max_shock_bits): each
+  /// state is a +/- sigma sign pattern over (the first) countries.
+  int max_shock_bits = 4;
+  /// Capital box half-width around the steady state (Brumm-Scheidegger use
+  /// +/- 20%).
+  double box_half_width = 0.2;
+};
+
+class IrbcModel final : public core::DynamicModel {
+ public:
+  explicit IrbcModel(IrbcCalibration cal = {});
+
+  [[nodiscard]] int state_dim() const override { return cal_.countries; }
+  [[nodiscard]] int num_shocks() const override { return static_cast<int>(chain_.size()); }
+  [[nodiscard]] int ndofs() const override { return cal_.countries; }
+  [[nodiscard]] const sg::BoxDomain& domain() const override { return domain_; }
+
+  [[nodiscard]] std::vector<double> initial_policy(int z,
+                                                   std::span<const double> x_unit) const override;
+  [[nodiscard]] core::PointSolveResult solve_point(int z, std::span<const double> x_unit,
+                                                   const core::PolicyEvaluator& p_next,
+                                                   std::span<const double> warm_start) const override;
+  [[nodiscard]] double equilibrium_residual(int z, std::span<const double> x_unit,
+                                            const core::PolicyEvaluator& p) const override;
+
+  // --- model accessors ----------------------------------------------------
+  [[nodiscard]] const IrbcCalibration& calibration() const { return cal_; }
+  [[nodiscard]] const olg::MarkovChain& chain() const { return chain_; }
+  /// Per-country TFP in discrete state z.
+  [[nodiscard]] double productivity(int z, int country) const;
+  /// Steady-state capital (1.0 by normalization of A).
+  [[nodiscard]] double steady_capital() const { return 1.0; }
+  [[nodiscard]] double tfp_scale() const { return tfp_scale_; }
+
+  /// Equalized per-country consumption implied by states and choices.
+  [[nodiscard]] double consumption(int z, std::span<const double> k,
+                                   std::span<const double> k_next) const;
+
+  /// Unit-free Euler residuals (size N); exposed for tests.
+  void euler_residuals(int z, std::span<const double> k, std::span<const double> k_next,
+                       const core::PolicyEvaluator& p_next, std::span<double> out,
+                       int* interp_count = nullptr) const;
+
+ private:
+  IrbcCalibration cal_;
+  olg::MarkovChain chain_;
+  std::vector<int> state_signs_;  ///< packed sign patterns per state
+  olg::CrraPreferences prefs_;
+  double tfp_scale_ = 1.0;  ///< A: normalizes k_ss to 1
+  sg::BoxDomain domain_;
+};
+
+}  // namespace hddm::irbc

@@ -1,0 +1,69 @@
+// The `avx2` kernel: like `avx` but deploys 256-bit FMA instructions in the
+// surplus accumulation (the paper: "the AVX2 additionally deploys vector FMA
+// instructions where applicable") and a gathered evaluation of the unique
+// basis factors.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "kernels/kernels_internal.hpp"
+#include "sparse_grid/basis.hpp"
+
+namespace hddm::kernels::detail {
+
+namespace {
+
+class Avx2Kernel final : public InterpolationKernel {
+ public:
+  explicit Avx2Kernel(const core::CompressedGridData& grid) : grid_(grid) {}
+
+  [[nodiscard]] KernelKind kind() const override { return KernelKind::Avx2; }
+  [[nodiscard]] int dim() const override { return grid_.dim; }
+  [[nodiscard]] int ndofs() const override { return grid_.ndofs; }
+
+  __attribute__((target("avx2,fma"))) void evaluate(const double* x,
+                                                    double* value) const override {
+    thread_local std::vector<double> xpv;
+    xpv.resize(grid_.xps.size());
+    compute_xpv(grid_, x, xpv.data());
+
+    const int nd = grid_.ndofs;
+    const int nfreq = grid_.nfreq;
+    const int nd4 = nd & ~3;
+    std::fill(value, value + nd, 0.0);
+
+    const std::uint32_t* chain = grid_.chains.data();
+    for (std::uint32_t p = 0; p < grid_.nno; ++p, chain += nfreq) {
+      double temp = 1.0;
+      for (int f = 0; f < nfreq; ++f) {
+        const std::uint32_t idx = chain[f];
+        if (!idx) break;
+        temp *= xpv[idx];
+        if (temp == 0.0) break;
+      }
+      if (temp == 0.0) continue;
+
+      const double* srow = grid_.surplus_row(p);
+      const __m256d vtemp = _mm256_set1_pd(temp);
+      int dof = 0;
+      for (; dof < nd4; dof += 4) {
+        const __m256d acc = _mm256_loadu_pd(value + dof);
+        const __m256d s = _mm256_loadu_pd(srow + dof);
+        _mm256_storeu_pd(value + dof, _mm256_fmadd_pd(vtemp, s, acc));
+      }
+      for (; dof < nd; ++dof) value[dof] += temp * srow[dof];
+    }
+  }
+
+ private:
+  const core::CompressedGridData& grid_;
+};
+
+}  // namespace
+
+std::unique_ptr<InterpolationKernel> make_avx2_kernel(const core::CompressedGridData& grid) {
+  return std::make_unique<Avx2Kernel>(grid);
+}
+
+}  // namespace hddm::kernels::detail

@@ -1,0 +1,54 @@
+// The `gold` kernel: scalar interpolation on the dense matrix format of the
+// authors' earlier work [18] (Heinecke-Pflüger layout) — Fig. 5 right panel.
+// Every point walks all d (level, index) pairs with early exit on a zero
+// basis factor. This is the baseline all speedups in Table II / Fig. 6 are
+// normalized against.
+#include <algorithm>
+
+#include "kernels/kernels_internal.hpp"
+#include "sparse_grid/basis.hpp"
+
+namespace hddm::kernels::detail {
+
+namespace {
+
+class GoldKernel final : public InterpolationKernel {
+ public:
+  explicit GoldKernel(const sg::DenseGridData& dense) : dense_(dense) {}
+
+  [[nodiscard]] KernelKind kind() const override { return KernelKind::Gold; }
+  [[nodiscard]] int dim() const override { return dense_.dim; }
+  [[nodiscard]] int ndofs() const override { return dense_.ndofs; }
+
+  void evaluate(const double* x, double* value) const override {
+    const int d = dense_.dim;
+    const int nd = dense_.ndofs;
+    std::fill(value, value + nd, 0.0);
+    const sg::LevelIndex* pair = dense_.pairs.data();
+    for (std::uint32_t p = 0; p < dense_.nno; ++p, pair += d) {
+      double temp = 1.0;
+      for (int t = 0; t < d; ++t) {
+        const double xp = sg::hat_value(pair[t], x[t]);
+        if (xp <= 0.0) {
+          temp = 0.0;
+          break;
+        }
+        temp *= xp;
+      }
+      if (temp == 0.0) continue;
+      const double* srow = dense_.surplus_row(p);
+      for (int dof = 0; dof < nd; ++dof) value[dof] += temp * srow[dof];
+    }
+  }
+
+ private:
+  const sg::DenseGridData& dense_;
+};
+
+}  // namespace
+
+std::unique_ptr<InterpolationKernel> make_gold_kernel(const sg::DenseGridData& dense) {
+  return std::make_unique<GoldKernel>(dense);
+}
+
+}  // namespace hddm::kernels::detail

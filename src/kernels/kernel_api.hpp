@@ -1,0 +1,60 @@
+// Common interface of the interpolation kernels benchmarked in the paper's
+// Table II / Fig. 6: gold, x86, avx, avx2, avx512, and the GPU-structured
+// kernel (the paper's "cuda" row, executed here by the simulated device —
+// see DESIGN.md substitutions).
+//
+// A kernel is bound to one grid (dense for `gold`, compressed for the rest)
+// and evaluates the full ndofs-vector interpolant at points of [0,1]^d.
+// evaluate() is const and safe to call concurrently from many threads; the
+// scratch each call needs lives in thread-local storage sized to the grid.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/compression.hpp"
+#include "sparse_grid/dense_format.hpp"
+
+namespace hddm::kernels {
+
+enum class KernelKind { Gold, X86, Avx, Avx2, Avx512, SimGpu };
+
+/// All kinds in benchmark order (the row order of Table II).
+inline constexpr KernelKind kAllKernelKinds[] = {KernelKind::Gold, KernelKind::X86,
+                                                 KernelKind::Avx,  KernelKind::Avx2,
+                                                 KernelKind::Avx512, KernelKind::SimGpu};
+
+std::string_view kernel_name(KernelKind kind);
+
+class InterpolationKernel {
+ public:
+  virtual ~InterpolationKernel() = default;
+
+  [[nodiscard]] virtual KernelKind kind() const = 0;
+  [[nodiscard]] std::string_view name() const { return kernel_name(kind()); }
+
+  [[nodiscard]] virtual int dim() const = 0;
+  [[nodiscard]] virtual int ndofs() const = 0;
+
+  /// value[0..ndofs) = u(x); overwrites value.
+  virtual void evaluate(const double* x, double* value) const = 0;
+
+  /// Batched evaluation (npoints rows of x, npoints rows of value). The
+  /// default loops over evaluate(); the GPU-structured kernel overrides it to
+  /// launch one grid of blocks per batch.
+  virtual void evaluate_batch(const double* x, double* value, std::size_t npoints) const;
+};
+
+/// True when the host CPU can execute the given kernel (CPUID check for the
+/// vector ISAs; gold/x86/simgpu always run).
+bool kernel_supported(KernelKind kind);
+
+/// Creates a kernel bound to the given grids. `dense` may be null unless
+/// kind == Gold; `compressed` may be null only for Gold. The caller keeps
+/// the grid data alive for the kernel's lifetime.
+std::unique_ptr<InterpolationKernel> make_kernel(KernelKind kind,
+                                                 const sg::DenseGridData* dense,
+                                                 const core::CompressedGridData* compressed);
+
+}  // namespace hddm::kernels

@@ -1,0 +1,25 @@
+// Internal factory hooks connecting dispatch.cpp with the per-ISA
+// translation units (each compiled with its own -m flags).
+#pragma once
+
+#include <memory>
+
+#include "kernels/kernel_api.hpp"
+
+namespace hddm::kernels::detail {
+
+std::unique_ptr<InterpolationKernel> make_gold_kernel(const sg::DenseGridData& dense);
+std::unique_ptr<InterpolationKernel> make_x86_kernel(const core::CompressedGridData& grid);
+std::unique_ptr<InterpolationKernel> make_avx_kernel(const core::CompressedGridData& grid);
+std::unique_ptr<InterpolationKernel> make_avx2_kernel(const core::CompressedGridData& grid);
+#ifdef HDDM_WITH_AVX512
+std::unique_ptr<InterpolationKernel> make_avx512_kernel(const core::CompressedGridData& grid);
+#endif
+std::unique_ptr<InterpolationKernel> make_simgpu_kernel(const core::CompressedGridData& grid);
+
+/// Computes the xpv scratch (unique basis factors at x) shared by all
+/// compressed kernels: xpv[0] = 1 (sentinel), xpv[k] = max(0, phi(x[j_k])).
+/// `xpv` must have grid.xps_size() entries.
+void compute_xpv(const core::CompressedGridData& grid, const double* x, double* xpv);
+
+}  // namespace hddm::kernels::detail

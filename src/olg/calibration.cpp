@@ -1,0 +1,129 @@
+#include "olg/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hddm::olg {
+
+double OlgEconomy::pension(double wage, double tau_labor) const {
+  const int nret = retirees();
+  if (nret <= 0) return 0.0;
+  return tau_labor * wage * total_labor / static_cast<double>(nret);
+}
+
+namespace {
+
+/// Hump-shaped age-efficiency profile over working life: rises from 0.6 to a
+/// peak of ~1.2 around 70% of the working span, then declines to ~0.8 —
+/// a quadratic fit of the usual estimated earnings profiles. Zero when
+/// retired.
+std::vector<double> build_efficiency(int ages, int retirement_index) {
+  std::vector<double> e(static_cast<std::size_t>(ages), 0.0);
+  for (int a = 1; a <= retirement_index; ++a) {
+    const double s = static_cast<double>(a - 1) /
+                     std::max(1.0, static_cast<double>(retirement_index - 1));  // 0..1
+    // Peak 1.2 at s = 0.7; endpoints 0.6 (entry) and ~1.09 (pre-retirement).
+    const double hump = 1.2 - 1.224 * (s - 0.7) * (s - 0.7);
+    e[static_cast<std::size_t>(a - 1)] = std::max(0.2, hump);
+  }
+  return e;
+}
+
+}  // namespace
+
+OlgEconomy build_economy(const OlgCalibration& cal) {
+  if (cal.ages < 3) throw std::invalid_argument("build_economy: need at least 3 ages");
+  if (cal.n_productivity < 1 || cal.n_tax_regimes < 1)
+    throw std::invalid_argument("build_economy: empty shock components");
+  if (cal.retirement_age_fraction <= 0.0 || cal.retirement_age_fraction > 1.0)
+    throw std::invalid_argument("build_economy: retirement fraction out of range");
+
+  OlgEconomy econ;
+  econ.cal = cal;
+
+  const double years = cal.period_years();
+  econ.beta = std::pow(cal.beta_annual, years);
+  const double delta_period = 1.0 - std::pow(1.0 - cal.delta_annual, years);
+
+  // Retirement: last working age index (1-based). Keep at least one worker
+  // and, when the fraction allows, at least one retiree.
+  econ.retirement_index =
+      std::clamp(static_cast<int>(std::round(cal.retirement_age_fraction * cal.ages)), 1,
+                 cal.ages - 1);
+  econ.efficiency = build_efficiency(cal.ages, econ.retirement_index);
+  econ.total_labor = 0.0;
+  for (const double e : econ.efficiency) econ.total_labor += e;
+
+  // Productivity component: Rouwenhorst of the *period-compounded* AR(1).
+  const double rho_period = std::pow(cal.productivity_rho_annual, years);
+  // Innovation variance compounding keeps the unconditional variance fixed.
+  const double sigma_y =
+      cal.productivity_sigma / std::sqrt(1.0 - cal.productivity_rho_annual * cal.productivity_rho_annual);
+  const double sigma_period = sigma_y * std::sqrt(1.0 - rho_period * rho_period);
+
+  std::vector<double> log_eta;
+  MarkovChain prod_chain =
+      cal.n_productivity == 1
+          ? MarkovChain::persistent_uniform(1, 1.0)
+          : MarkovChain::rouwenhorst(cal.n_productivity, rho_period, sigma_period, log_eta);
+  if (cal.n_productivity == 1) log_eta.assign(1, 0.0);
+
+  // Tax regime component: persistent switching over the 2x2 (or degenerate)
+  // regime grid; regime index r = 2 * (labor high) + (capital high) when
+  // n_tax_regimes == 4, r in {low, high} pairs otherwise.
+  const double tax_persistence = std::pow(cal.tax_persistence_annual, years);
+  MarkovChain tax_chain = MarkovChain::persistent_uniform(cal.n_tax_regimes, tax_persistence);
+
+  econ.chain = MarkovChain::kronecker(prod_chain, tax_chain);
+
+  econ.shocks.resize(cal.n_productivity * cal.n_tax_regimes);
+  for (std::size_t ip = 0; ip < cal.n_productivity; ++ip) {
+    for (std::size_t ir = 0; ir < cal.n_tax_regimes; ++ir) {
+      ShockState s;
+      s.eta = std::exp(log_eta[ip]);
+      // Busts depreciate capital slightly faster — a standard way to make
+      // downturns bite in OLG models with aggregate risk.
+      const double bust_intensity =
+          cal.n_productivity > 1
+              ? (1.0 - static_cast<double>(ip) / static_cast<double>(cal.n_productivity - 1))
+              : 0.5;
+      s.delta = delta_period * (0.9 + 0.2 * bust_intensity);
+      switch (cal.n_tax_regimes) {
+        case 1:
+          s.tau_labor = 0.5 * (cal.tau_labor_low + cal.tau_labor_high);
+          s.tau_capital = 0.5 * (cal.tau_capital_low + cal.tau_capital_high);
+          break;
+        case 2:
+          s.tau_labor = (ir == 0) ? cal.tau_labor_low : cal.tau_labor_high;
+          s.tau_capital = (ir == 0) ? cal.tau_capital_low : cal.tau_capital_high;
+          break;
+        default:
+          s.tau_labor = (ir / 2 == 0) ? cal.tau_labor_low : cal.tau_labor_high;
+          s.tau_capital = (ir % 2 == 0) ? cal.tau_capital_low : cal.tau_capital_high;
+          break;
+      }
+      econ.shocks[ip * cal.n_tax_regimes + ir] = s;
+    }
+  }
+  return econ;
+}
+
+OlgCalibration paper_calibration() {
+  OlgCalibration cal;
+  cal.ages = 60;
+  cal.n_productivity = 4;
+  cal.n_tax_regimes = 4;
+  return cal;
+}
+
+OlgCalibration reduced_calibration(int ages, std::size_t n_productivity,
+                                   std::size_t n_tax_regimes) {
+  OlgCalibration cal;
+  cal.ages = ages;
+  cal.n_productivity = n_productivity;
+  cal.n_tax_regimes = n_tax_regimes;
+  return cal;
+}
+
+}  // namespace hddm::olg

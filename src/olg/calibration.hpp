@@ -1,0 +1,86 @@
+// Calibration of the stochastic OLG economy of Sec. II.
+//
+// The paper solves an *annually* calibrated model: agents live A = 60 adult
+// periods (ages 21-80), retire on average at 65 and draw social security
+// from 66; there are Ns = 16 discrete states mixing aggregate
+// productivity/depreciation conditions with labor/capital tax regimes, the
+// taxes funding a pay-as-you-go pension. The calibration here is generic in
+// A: with fewer model periods each period spans 60/A years and the annual
+// parameters (discounting, depreciation, shock persistence) are compounded
+// accordingly, so reduced instances stay economically sensible (see
+// DESIGN.md, scale substitution).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "olg/markov.hpp"
+
+namespace hddm::olg {
+
+/// One discrete state of the economy.
+struct ShockState {
+  double eta = 1.0;     ///< total factor productivity
+  double delta = 0.06;  ///< depreciation (per model period)
+  double tau_labor = 0.30;
+  double tau_capital = 0.20;
+};
+
+struct OlgCalibration {
+  int ages = 60;  ///< A: adult lifetime in model periods
+
+  // Annual deep parameters (compounded to the period length 60/A years).
+  double beta_annual = 0.97;
+  double gamma = 2.0;            ///< relative risk aversion
+  double theta = 0.30;           ///< capital share
+  double delta_annual = 0.06;
+
+  // Age profile: hump-shaped labor efficiency, zero after retirement.
+  double retirement_age_fraction = 46.0 / 60.0;  ///< retire at 65 = 46th adult year
+
+  // Shock components (Ns = n_productivity * n_tax_regimes).
+  std::size_t n_productivity = 4;
+  double productivity_rho_annual = 0.95;
+  double productivity_sigma = 0.02;  ///< innovation s.d. of annual log TFP
+  std::size_t n_tax_regimes = 4;     ///< {low,high} labor x {low,high} capital
+  double tax_persistence_annual = 0.95;
+  double tau_labor_low = 0.28, tau_labor_high = 0.34;
+  double tau_capital_low = 0.15, tau_capital_high = 0.25;
+
+  /// Number of model periods per year^-1: each period is 60/A years.
+  [[nodiscard]] double period_years() const { return 60.0 / static_cast<double>(ages); }
+};
+
+/// Fully-assembled economy: shock grid, composite Markov chain, age
+/// profiles, and period-compounded parameters.
+struct OlgEconomy {
+  OlgCalibration cal;
+
+  double beta = 0.0;              ///< period discount factor
+  int retirement_index = 0;       ///< last working age (1-based); pension from +1
+  std::vector<double> efficiency; ///< e_a, a = 1..A (index 0 == age 1)
+  double total_labor = 0.0;       ///< L = sum_a e_a
+
+  std::vector<ShockState> shocks; ///< size Ns
+  MarkovChain chain;              ///< Ns x Ns composite transition
+
+  [[nodiscard]] std::size_t num_shocks() const { return shocks.size(); }
+  [[nodiscard]] int ages() const { return cal.ages; }
+  /// Pension per retired agent when aggregate wage bill is w*L taxed at tau_l.
+  [[nodiscard]] double pension(double wage, double tau_labor) const;
+  [[nodiscard]] int retirees() const { return cal.ages - retirement_index; }
+  [[nodiscard]] bool is_retired(int age_1based) const { return age_1based > retirement_index; }
+};
+
+/// Builds the economy from a calibration (validates and compounds).
+OlgEconomy build_economy(const OlgCalibration& cal);
+
+/// Convenience: the paper's headline configuration — A = 60 (d = 59
+/// continuous dimensions), Ns = 16 discrete states.
+OlgCalibration paper_calibration();
+
+/// Reduced test configuration: A ages, Ns = n_prod * n_tax shocks.
+OlgCalibration reduced_calibration(int ages, std::size_t n_productivity = 2,
+                                   std::size_t n_tax_regimes = 2);
+
+}  // namespace hddm::olg

@@ -1,0 +1,128 @@
+#include "olg/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hddm::olg {
+
+MarkovChain::MarkovChain(std::size_t n, std::vector<double> transition)
+    : n_(n), transition_(std::move(transition)) {
+  if (transition_.size() != n_ * n_)
+    throw std::invalid_argument("MarkovChain: transition matrix size mismatch");
+  for (std::size_t z = 0; z < n_; ++z) {
+    double row_sum = 0.0;
+    for (std::size_t zp = 0; zp < n_; ++zp) {
+      const double p = transition_[z * n_ + zp];
+      if (p < -1e-12) throw std::invalid_argument("MarkovChain: negative probability");
+      row_sum += p;
+    }
+    if (std::fabs(row_sum - 1.0) > 1e-9)
+      throw std::invalid_argument("MarkovChain: rows must sum to one");
+  }
+}
+
+std::vector<double> MarkovChain::stationary_distribution(int iterations) const {
+  std::vector<double> pi(n_, 1.0 / static_cast<double>(n_));
+  std::vector<double> next(n_);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t z = 0; z < n_; ++z) {
+      const double mass = pi[z];
+      if (mass == 0.0) continue;
+      for (std::size_t zp = 0; zp < n_; ++zp) next[zp] += mass * transition_[z * n_ + zp];
+    }
+    double delta = 0.0;
+    for (std::size_t z = 0; z < n_; ++z) delta = std::max(delta, std::fabs(next[z] - pi[z]));
+    pi.swap(next);
+    if (delta < 1e-14) break;
+  }
+  return pi;
+}
+
+std::size_t MarkovChain::step(std::size_t from, util::Rng& rng) const {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t zp = 0; zp < n_; ++zp) {
+    acc += transition_[from * n_ + zp];
+    if (u < acc) return zp;
+  }
+  return n_ - 1;  // numerical slack
+}
+
+std::vector<std::size_t> MarkovChain::simulate(std::size_t start, std::size_t length,
+                                               util::Rng& rng) const {
+  std::vector<std::size_t> path;
+  path.reserve(length);
+  std::size_t z = start;
+  for (std::size_t t = 0; t < length; ++t) {
+    path.push_back(z);
+    z = step(z, rng);
+  }
+  return path;
+}
+
+MarkovChain MarkovChain::kronecker(const MarkovChain& a, const MarkovChain& b) {
+  const std::size_t na = a.size(), nb = b.size(), n = na * nb;
+  std::vector<double> t(n * n);
+  for (std::size_t ia = 0; ia < na; ++ia)
+    for (std::size_t ib = 0; ib < nb; ++ib)
+      for (std::size_t ja = 0; ja < na; ++ja)
+        for (std::size_t jb = 0; jb < nb; ++jb)
+          t[(ia * nb + ib) * n + (ja * nb + jb)] = a.probability(ia, ja) * b.probability(ib, jb);
+  return MarkovChain(n, std::move(t));
+}
+
+MarkovChain MarkovChain::rouwenhorst(std::size_t n, double rho, double sigma,
+                                     std::vector<double>& values) {
+  if (n < 2) throw std::invalid_argument("rouwenhorst: need at least two states");
+  if (rho <= -1.0 || rho >= 1.0) throw std::invalid_argument("rouwenhorst: |rho| must be < 1");
+
+  const double p = (1.0 + rho) / 2.0;
+  // Build up the transition matrix recursively from the 2-state case.
+  std::vector<double> t = {p, 1.0 - p, 1.0 - p, p};
+  std::size_t m = 2;
+  while (m < n) {
+    const std::size_t mm = m + 1;
+    std::vector<double> next(mm * mm, 0.0);
+    auto old = [&](std::size_t r, std::size_t c) { return t[r * m + c]; };
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) {
+        const double v = old(r, c);
+        next[r * mm + c] += p * v;
+        next[r * mm + c + 1] += (1.0 - p) * v;
+        next[(r + 1) * mm + c] += (1.0 - p) * v;
+        next[(r + 1) * mm + c + 1] += p * v;
+      }
+    }
+    // Interior rows were double counted.
+    for (std::size_t r = 1; r < mm - 1; ++r)
+      for (std::size_t c = 0; c < mm; ++c) next[r * mm + c] /= 2.0;
+    t.swap(next);
+    m = mm;
+  }
+
+  const double sigma_y = sigma / std::sqrt(1.0 - rho * rho);
+  const double span = sigma_y * std::sqrt(static_cast<double>(n - 1));
+  values.resize(n);
+  for (std::size_t k = 0; k < n; ++k)
+    values[k] = -span + 2.0 * span * static_cast<double>(k) / static_cast<double>(n - 1);
+  return MarkovChain(n, std::move(t));
+}
+
+MarkovChain MarkovChain::persistent_uniform(std::size_t n, double persistence) {
+  if (n == 0) throw std::invalid_argument("persistent_uniform: empty chain");
+  if (persistence < 0.0 || persistence > 1.0)
+    throw std::invalid_argument("persistent_uniform: persistence must be in [0,1]");
+  std::vector<double> t(n * n, 0.0);
+  if (n == 1) {
+    t[0] = 1.0;
+  } else {
+    const double off = (1.0 - persistence) / static_cast<double>(n - 1);
+    for (std::size_t z = 0; z < n; ++z)
+      for (std::size_t zp = 0; zp < n; ++zp) t[z * n + zp] = (z == zp) ? persistence : off;
+  }
+  return MarkovChain(n, std::move(t));
+}
+
+}  // namespace hddm::olg

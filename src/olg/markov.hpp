@@ -1,0 +1,60 @@
+// Finite-state Markov chains for the discrete shock process z (Sec. II).
+//
+// The paper's model has Ns = 16 discrete states combining aggregate
+// productivity/depreciation conditions with stochastic tax regimes; the
+// composite chain is the Kronecker product of the component chains. The
+// productivity component is a Rouwenhorst discretization of a log-AR(1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace hddm::olg {
+
+class MarkovChain {
+ public:
+  MarkovChain() = default;
+  /// `transition` is row-stochastic: transition[z * n + z'] = pi(z'|z).
+  MarkovChain(std::size_t n, std::vector<double> transition);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] double probability(std::size_t from, std::size_t to) const {
+    return transition_[from * n_ + to];
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t from) const {
+    return {transition_.data() + from * n_, n_};
+  }
+
+  /// Stationary distribution by power iteration.
+  [[nodiscard]] std::vector<double> stationary_distribution(int iterations = 2000) const;
+
+  /// Draws the next state given the current one.
+  [[nodiscard]] std::size_t step(std::size_t from, util::Rng& rng) const;
+
+  /// Simulates a path of the given length starting from `start`.
+  [[nodiscard]] std::vector<std::size_t> simulate(std::size_t start, std::size_t length,
+                                                  util::Rng& rng) const;
+
+  /// Kronecker product: the combined chain over pairs (a, b) with independent
+  /// transitions; state index = a * b_chain.size() + b.
+  [[nodiscard]] static MarkovChain kronecker(const MarkovChain& a, const MarkovChain& b);
+
+  /// Rouwenhorst discretization of an AR(1) y' = rho y + sigma eps into `n`
+  /// states. Returns the chain and fills `values` with the state grid
+  /// (symmetric around zero with endpoints +/- sigma_y sqrt(n-1)).
+  static MarkovChain rouwenhorst(std::size_t n, double rho, double sigma,
+                                 std::vector<double>& values);
+
+  /// Two-parameter persistence chain: stay with probability `persistence`,
+  /// otherwise switch uniformly to any other state.
+  static MarkovChain persistent_uniform(std::size_t n, double persistence);
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> transition_;
+};
+
+}  // namespace hddm::olg

@@ -1,0 +1,344 @@
+#include "olg/olg_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hddm::olg {
+
+namespace {
+
+sg::BoxDomain build_domain(const OlgEconomy& econ, const SteadyState& ss,
+                           const OlgModelOptions& opts) {
+  const int d = econ.ages() - 1;
+  std::vector<double> lo(static_cast<std::size_t>(d)), hi(static_cast<std::size_t>(d));
+
+  lo[0] = ss.capital / (1.0 + opts.width_capital);
+  hi[0] = ss.capital * (1.0 + opts.width_capital);
+
+  double peak_assets = 0.0;
+  for (const double a : ss.assets) peak_assets = std::max(peak_assets, a);
+  peak_assets = std::max(peak_assets, 0.1 * ss.capital);
+  const double borrow = opts.borrowing_wage_multiple * ss.prices.wage;
+
+  for (int t = 1; t < d; ++t) {
+    lo[t] = -borrow;
+    hi[t] = opts.wealth_top_multiple * peak_assets;
+  }
+  return sg::BoxDomain(std::move(lo), std::move(hi));
+}
+
+}  // namespace
+
+namespace {
+
+double scale_aware_floor(const SteadyState& ss, double fraction) {
+  double c_min = std::numeric_limits<double>::infinity();
+  for (const double c : ss.consumption) c_min = std::min(c_min, c);
+  return std::max(1e-8, fraction * c_min);
+}
+
+}  // namespace
+
+OlgModel::OlgModel(OlgEconomy economy, OlgModelOptions options)
+    : econ_(std::move(economy)),
+      opts_(std::move(options)),
+      tech_(econ_.cal.theta),
+      steady_(solve_steady_state(econ_)),
+      prefs_(econ_.cal.gamma, scale_aware_floor(steady_, opts_.consumption_floor_fraction)),
+      domain_(build_domain(econ_, steady_, opts_)) {
+  if (!steady_.converged)
+    throw std::runtime_error("OlgModel: steady state did not converge — check calibration");
+  capital_floor_ = 1e-3 * steady_.capital;
+}
+
+OlgModel::DecodedState OlgModel::decode_state(std::span<const double> x_phys) const {
+  const int A = econ_.ages();
+  if (static_cast<int>(x_phys.size()) != A - 1)
+    throw std::invalid_argument("decode_state: dimension mismatch");
+  DecodedState s;
+  s.capital = std::max(x_phys[0], capital_floor_);
+  s.wealth.assign(static_cast<std::size_t>(A), 0.0);
+  double middle = 0.0;
+  for (int a = 2; a <= A - 1; ++a) {
+    s.wealth[a - 1] = x_phys[a - 1];
+    middle += x_phys[a - 1];
+  }
+  s.wealth[A - 1] = s.capital - middle;  // oldest generation holds the rest
+  return s;
+}
+
+std::vector<double> OlgModel::consumption(int z, const DecodedState& s,
+                                          std::span<const double> savings) const {
+  const int A = econ_.ages();
+  const ShockState& shock = econ_.shocks[static_cast<std::size_t>(z)];
+  const FactorPrices p = tech_.prices(s.capital, econ_.total_labor, shock.eta, shock.delta);
+  const double R = 1.0 + p.rate * (1.0 - shock.tau_capital);
+  const double pen = econ_.pension(p.wage, shock.tau_labor);
+
+  std::vector<double> c(static_cast<std::size_t>(A));
+  for (int a = 1; a <= A; ++a) {
+    const double labor_inc = (1.0 - shock.tau_labor) * p.wage * econ_.efficiency[a - 1];
+    const double pension_inc = econ_.is_retired(a) ? pen : 0.0;
+    const double save = (a < A) ? savings[a - 1] : 0.0;
+    c[a - 1] = R * s.wealth[a - 1] + labor_inc + pension_inc - save;
+  }
+  return c;
+}
+
+void OlgModel::next_periods(const DecodedState& s, std::span<const double> savings,
+                            const core::PolicyEvaluator& p_next, std::vector<NextPeriod>& out,
+                            int* interp_count) const {
+  const int A = econ_.ages();
+  const int d = A - 1;
+  const int Ns = num_shocks();
+  (void)s;
+
+  // Tomorrow's aggregate state is shock-independent (savings chosen today):
+  // K' = sum_a k'_a; x' = (K', k'_1, ..., k'_{A-2}).
+  double k_next = 0.0;
+  for (int a = 1; a <= A - 1; ++a) k_next += savings[a - 1];
+  k_next = std::max(k_next, capital_floor_);
+
+  std::vector<double> x_next(static_cast<std::size_t>(d));
+  x_next[0] = k_next;
+  for (int t = 1; t < d; ++t) x_next[t] = savings[t - 1];
+  const std::vector<double> x_unit = domain_.to_unit(x_next);
+
+  out.resize(static_cast<std::size_t>(Ns));
+  for (int zp = 0; zp < Ns; ++zp) {
+    NextPeriod& np = out[static_cast<std::size_t>(zp)];
+    np.capital = k_next;
+    np.x_unit = x_unit;
+    np.dofs.resize(static_cast<std::size_t>(ndofs()));
+    p_next.evaluate(zp, np.x_unit, np.dofs);
+    if (interp_count != nullptr) ++(*interp_count);
+
+    const ShockState& shock = econ_.shocks[static_cast<std::size_t>(zp)];
+    np.prices = tech_.prices(k_next, econ_.total_labor, shock.eta, shock.delta);
+    np.pension = econ_.pension(np.prices.wage, shock.tau_labor);
+  }
+}
+
+void OlgModel::euler_residuals(int z, const DecodedState& s, std::span<const double> savings,
+                               const core::PolicyEvaluator& p_next, std::span<double> out,
+                               int* interp_count) const {
+  const int A = econ_.ages();
+  const int d = A - 1;
+  if (static_cast<int>(out.size()) != d)
+    throw std::invalid_argument("euler_residuals: output size mismatch");
+
+  const std::vector<double> c_today = consumption(z, s, savings);
+
+  thread_local std::vector<NextPeriod> nps;
+  next_periods(s, savings, p_next, nps, interp_count);
+
+  const auto pi = econ_.chain.row(static_cast<std::size_t>(z));
+  for (int a = 1; a <= A - 1; ++a) {
+    // Expected discounted marginal utility of age a+1 tomorrow.
+    double emu = 0.0;
+    for (int zp = 0; zp < num_shocks(); ++zp) {
+      const double prob = pi[static_cast<std::size_t>(zp)];
+      if (prob == 0.0) continue;
+      const NextPeriod& np = nps[static_cast<std::size_t>(zp)];
+      const ShockState& shock = econ_.shocks[static_cast<std::size_t>(zp)];
+      const double Rp = 1.0 + np.prices.rate * (1.0 - shock.tau_capital);
+
+      const int ap = a + 1;  // age tomorrow
+      const double labor_inc = (1.0 - shock.tau_labor) * np.prices.wage * econ_.efficiency[ap - 1];
+      const double pension_inc = econ_.is_retired(ap) ? np.pension : 0.0;
+      // Next-period savings of age a+1 come from the interpolated policy;
+      // the oldest generation saves nothing.
+      const double k_tomorrow = (ap <= A - 1) ? np.dofs[static_cast<std::size_t>(ap - 1)] : 0.0;
+      const double c_tomorrow = Rp * savings[a - 1] + labor_inc + pension_inc - k_tomorrow;
+      emu += prob * Rp * prefs_.marginal_utility(c_tomorrow);
+    }
+    // The Euler equation u'(c_a) = beta E[...] expressed in consumption
+    // units, c_a - (u')^{-1}(beta E[...]): a strictly monotone transform
+    // with identical roots but uniform O(c) scaling across ages — marginal
+    // utilities near the consumption floor are ~1e6 and would otherwise
+    // wreck the Newton line search's merit function.
+    out[a - 1] = c_today[a - 1] - prefs_.inverse_marginal(econ_.beta * emu);
+  }
+}
+
+std::vector<double> OlgModel::value_coefficients(int z, const DecodedState& s,
+                                                 std::span<const double> savings,
+                                                 const core::PolicyEvaluator& p_next) const {
+  const int A = econ_.ages();
+  const int d = A - 1;
+  const std::vector<double> c_today = consumption(z, s, savings);
+
+  thread_local std::vector<NextPeriod> nps;
+  next_periods(s, savings, p_next, nps, nullptr);
+
+  // The value recursion runs on unnormalized CRRA utilities with a floored
+  // argument, and the *stored* coefficients are the certainty-equivalent
+  // transform V = T(v): bounded over the entire (partly infeasible) state
+  // box, so value surpluses cannot pollute the interior of the grid — see
+  // CrraPreferences::value_transform.
+  const auto pi = econ_.chain.row(static_cast<std::size_t>(z));
+  std::vector<double> v(static_cast<std::size_t>(d));
+  for (int a = 1; a <= A - 1; ++a) {
+    double ev = 0.0;
+    for (int zp = 0; zp < num_shocks(); ++zp) {
+      const double prob = pi[static_cast<std::size_t>(zp)];
+      if (prob == 0.0) continue;
+      const NextPeriod& np = nps[static_cast<std::size_t>(zp)];
+      const int ap = a + 1;
+      if (ap <= A - 1) {
+        // Interpolated continuation value of age a+1 (stored transformed).
+        ev += prob * prefs_.value_untransform(np.dofs[static_cast<std::size_t>(d + ap - 1)]);
+      } else {
+        // The oldest generation tomorrow consumes everything.
+        const ShockState& shock = econ_.shocks[static_cast<std::size_t>(zp)];
+        const double Rp = 1.0 + np.prices.rate * (1.0 - shock.tau_capital);
+        const double pension_inc = np.pension;
+        const double c_last = Rp * savings[a - 1] + pension_inc;
+        ev += prob * prefs_.utility_unnormalized(c_last);
+      }
+    }
+    v[a - 1] = prefs_.value_transform(prefs_.utility_unnormalized(c_today[a - 1]) +
+                                      econ_.beta * ev);
+  }
+  return v;
+}
+
+std::vector<double> OlgModel::initial_policy(int z, std::span<const double> x_unit) const {
+  (void)z;
+  const int A = econ_.ages();
+  const int d = A - 1;
+  const std::vector<double> x_phys = domain_.to_physical(x_unit);
+  const DecodedState s = decode_state(x_phys);
+
+  // Scale the steady-state savings profile by the state's wealth position:
+  // agents holding more wealth than steady state save proportionally more.
+  std::vector<double> dofs(static_cast<std::size_t>(2 * d));
+  const double k_ratio = std::clamp(s.capital / steady_.capital, 0.25, 4.0);
+  for (int a = 1; a <= A - 1; ++a)
+    dofs[a - 1] = std::max(steady_.savings[a - 1] * k_ratio, 0.0);
+
+  // Rough value guess: steady-state utility annuity, stored in the
+  // certainty-equivalent transform like all value coefficients.
+  for (int a = 1; a <= A - 1; ++a) {
+    const double u = prefs_.utility_unnormalized(steady_.consumption[a - 1]);
+    const int remaining = A - a + 1;
+    double annuity = 0.0, b = 1.0;
+    for (int k = 0; k < remaining; ++k) {
+      annuity += b * u;
+      b *= econ_.beta;
+    }
+    dofs[d + a - 1] = prefs_.value_transform(annuity);
+  }
+  return dofs;
+}
+
+OlgModel::Bounds OlgModel::feasibility_bounds(int z, const DecodedState& s) const {
+  const int d = state_dim();
+  Bounds b;
+  const double borrow = opts_.borrowing_wage_multiple * steady_.prices.wage;
+  const std::vector<double> resources =
+      consumption(z, s, std::vector<double>(static_cast<std::size_t>(d), 0.0));
+  b.lower.assign(static_cast<std::size_t>(d), -borrow);
+  b.upper.resize(static_cast<std::size_t>(d));
+  for (int a = 0; a < d; ++a) {
+    const double cap = resources[static_cast<std::size_t>(a)] - prefs_.consumption_floor();
+    b.upper[static_cast<std::size_t>(a)] = std::max(cap, -borrow + 1e-12);
+  }
+  return b;
+}
+
+double OlgModel::projected_residual_norm(int z, const DecodedState& s,
+                                         std::span<const double> savings, const Bounds& bounds,
+                                         const core::PolicyEvaluator& p_next,
+                                         int* interp_count) const {
+  const int d = state_dim();
+  std::vector<double> res(static_cast<std::size_t>(d));
+  euler_residuals(z, s, savings, p_next, res, interp_count);
+  const std::vector<double> c = consumption(z, s, savings);
+
+  double worst = 0.0;
+  for (int a = 0; a < d; ++a) {
+    double r = res[static_cast<std::size_t>(a)];
+    const double u = savings[static_cast<std::size_t>(a)];
+    const double span = std::max(1e-12, bounds.upper[static_cast<std::size_t>(a)] -
+                                            bounds.lower[static_cast<std::size_t>(a)]);
+    const double edge = std::max(1e-8 * span, 1e-10);
+    // KKT signs for the consumption-unit residual r = c - c_implied:
+    // r < 0 (consumes less than unconstrained-optimal, i.e. wants to borrow)
+    // is admissible at the borrowing limit; r > 0 (wants to save beyond the
+    // consumption floor's cap) is admissible at the upper bound.
+    if (u <= bounds.lower[static_cast<std::size_t>(a)] + edge && r < 0.0) r = 0.0;
+    if (u >= bounds.upper[static_cast<std::size_t>(a)] - edge && r > 0.0) r = 0.0;
+    // Unit-free: error as a fraction of the age's consumption.
+    const double scale = std::max(c[static_cast<std::size_t>(a)], prefs_.consumption_floor());
+    worst = std::max(worst, std::fabs(r) / scale);
+  }
+  return worst;
+}
+
+core::PointSolveResult OlgModel::solve_point(int z, std::span<const double> x_unit,
+                                             const core::PolicyEvaluator& p_next,
+                                             std::span<const double> warm_start) const {
+  const int d = state_dim();
+  const std::vector<double> x_phys = domain_.to_physical(x_unit);
+  const DecodedState s = decode_state(x_phys);
+
+  core::PointSolveResult result;
+  int interp = 0;
+
+  const solver::ResidualFn residual = [this, z, &s, &p_next, &interp](
+                                          std::span<const double> u, std::span<double> out) {
+    euler_residuals(z, s, u, p_next, out, &interp);
+  };
+
+  // Per-point feasibility box (the role of Ipopt's inequality handling in
+  // the paper's stack): Newton iterates never leave the region where the
+  // Euler system is well conditioned.
+  const Bounds bounds = feasibility_bounds(z, s);
+  solver::NewtonOptions newton = opts_.newton;
+  newton.lower = bounds.lower;
+  newton.upper = bounds.upper;
+
+  // Warm start: previous iteration's asset demands at this point (the solver
+  // clips them into the feasibility box).
+  const std::vector<double> guess(warm_start.begin(), warm_start.begin() + d);
+  const solver::NewtonResult nres = solve_newton(residual, guess, newton);
+
+  // At box corners the equilibrium is constrained: accept KKT-consistent
+  // solutions whose projected residual is small even when the raw Euler
+  // residual cannot vanish.
+  const double projected = projected_residual_norm(z, s, nres.solution, bounds, p_next, &interp);
+  result.converged = nres.converged() || projected < 1e-6;
+  result.solver_iterations = nres.iterations;
+  result.residual_norm = std::min(nres.residual_norm, projected);
+
+  result.dofs.resize(static_cast<std::size_t>(ndofs()));
+  std::copy(nres.solution.begin(), nres.solution.end(), result.dofs.begin());
+  const std::vector<double> values = value_coefficients(z, s, nres.solution, p_next);
+  std::copy(values.begin(), values.end(), result.dofs.begin() + d);
+  result.interpolations = interp;
+  return result;
+}
+
+double OlgModel::equilibrium_residual(int z, std::span<const double> x_unit,
+                                      const core::PolicyEvaluator& p) const {
+  const int d = state_dim();
+  const std::vector<double> x_phys = domain_.to_physical(x_unit);
+  const DecodedState s = decode_state(x_phys);
+
+  // Evaluate the policy itself at this point and compute the (unit-free,
+  // KKT-projected) Euler residual it implies.
+  std::vector<double> dofs(static_cast<std::size_t>(ndofs()));
+  p.evaluate(z, x_unit, dofs);
+  const Bounds bounds = feasibility_bounds(z, s);
+  std::vector<double> savings(dofs.begin(), dofs.begin() + d);
+  for (int a = 0; a < d; ++a)
+    savings[static_cast<std::size_t>(a)] =
+        std::clamp(savings[static_cast<std::size_t>(a)], bounds.lower[static_cast<std::size_t>(a)],
+                   bounds.upper[static_cast<std::size_t>(a)]);
+  return projected_residual_norm(z, s, savings, bounds, p, nullptr);
+}
+
+}  // namespace hddm::olg

@@ -1,0 +1,144 @@
+// The stochastic OLG model of Sec. II as a core::DynamicModel.
+//
+// State per shock z: x = (K, omega_2, ..., omega_{A-1}) in R^{A-1} (Eq. 1) —
+// aggregate capital plus the beginning-of-period wealth of generations
+// 2..A-1; newborns hold nothing and the oldest generation's wealth is the
+// residual omega_A = K - sum omega_a. Policy per point: the A-1 asset
+// demands k'_a and the A-1 value-function coefficients v_a, i.e.
+// ndofs = 2(A-1) = 2d (118 in the paper's configuration, footnote 10).
+//
+// Equilibrium system at a point (z, x): the A-1 Euler equations
+//   u'(c_a) = beta * sum_{z'} pi(z'|z) (1 + r'(1-tau_c')) u'(c'_{a+1}),
+// where tomorrow's consumption uses the *interpolated* next-period asset
+// demands on the ASGs of every successor shock — the interpolation load that
+// dominates the paper's runtime (Sec. IV: "up to 99%"). Values follow
+// explicitly: v_a = u(c_a) + beta E[v'_{a+1}], with v'_A = u(c'_A); they are
+// *stored* in the certainty-equivalent transform V = T(v) so that the value
+// coefficients remain bounded over the rectangular grid box (see
+// CrraPreferences::value_transform and olg/welfare.hpp for the readout).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "olg/calibration.hpp"
+#include "olg/preferences.hpp"
+#include "olg/steady_state.hpp"
+#include "olg/technology.hpp"
+#include "solver/newton.hpp"
+
+namespace hddm::olg {
+
+struct OlgModelOptions {
+  /// Half-width of the capital dimension relative to the steady state:
+  /// K in [K_ss / (1+width_K), K_ss * (1+width_K)].
+  double width_capital = 0.5;
+  /// Wealth dimensions: omega_a in [-borrowing * w_ss, top * peak assets].
+  double borrowing_wage_multiple = 0.5;
+  double wealth_top_multiple = 2.5;
+  /// Consumption floor as a fraction of the smallest steady-state
+  /// consumption: below it the CRRA preferences switch to their safe
+  /// extension. A scale-aware floor keeps the extension's slope (and with it
+  /// the Euler system's conditioning) moderate at infeasible box corners.
+  double consumption_floor_fraction = 0.01;
+  solver::NewtonOptions newton;
+
+  OlgModelOptions() {
+    newton.max_iterations = 80;
+    newton.tolerance = 1e-8;
+    newton.fd_epsilon = 1e-6;
+  }
+};
+
+class OlgModel final : public core::DynamicModel {
+ public:
+  explicit OlgModel(OlgEconomy economy, OlgModelOptions options = {});
+
+  // --- core::DynamicModel ----------------------------------------------
+  [[nodiscard]] int state_dim() const override { return econ_.ages() - 1; }
+  [[nodiscard]] int num_shocks() const override { return static_cast<int>(econ_.num_shocks()); }
+  [[nodiscard]] int ndofs() const override { return 2 * state_dim(); }
+  [[nodiscard]] int indicator_dofs() const override { return state_dim(); }
+  [[nodiscard]] const sg::BoxDomain& domain() const override { return domain_; }
+
+  [[nodiscard]] std::vector<double> initial_policy(int z,
+                                                   std::span<const double> x_unit) const override;
+  [[nodiscard]] core::PointSolveResult solve_point(int z, std::span<const double> x_unit,
+                                                   const core::PolicyEvaluator& p_next,
+                                                   std::span<const double> warm_start) const override;
+  [[nodiscard]] double equilibrium_residual(int z, std::span<const double> x_unit,
+                                            const core::PolicyEvaluator& p) const override;
+
+  // --- model-specific accessors ------------------------------------------
+  [[nodiscard]] const OlgEconomy& economy() const { return econ_; }
+  [[nodiscard]] const SteadyState& steady_state() const { return steady_; }
+  [[nodiscard]] const CrraPreferences& preferences() const { return prefs_; }
+  [[nodiscard]] const CobbDouglasTechnology& technology() const { return tech_; }
+
+  /// Decodes a physical state vector into the per-age wealth vector
+  /// omega_1..omega_A (omega_1 = 0, omega_A residual) and aggregate capital.
+  struct DecodedState {
+    double capital = 0.0;
+    std::vector<double> wealth;  ///< size A, 1-based age at index a-1
+  };
+  [[nodiscard]] DecodedState decode_state(std::span<const double> x_phys) const;
+
+  /// Today's consumption by age given state and savings choices.
+  [[nodiscard]] std::vector<double> consumption(int z, const DecodedState& s,
+                                                std::span<const double> savings) const;
+
+  /// Euler residuals (size d) for savings choices at (z, x); exposed for
+  /// tests and diagnostics. Counts p_next evaluations into `interp_count`.
+  void euler_residuals(int z, const DecodedState& s, std::span<const double> savings,
+                       const core::PolicyEvaluator& p_next, std::span<double> out,
+                       int* interp_count = nullptr) const;
+
+  /// Value-function coefficients v_1..v_{A-1} implied by converged savings.
+  [[nodiscard]] std::vector<double> value_coefficients(int z, const DecodedState& s,
+                                                       std::span<const double> savings,
+                                                       const core::PolicyEvaluator& p_next) const;
+
+  /// Per-point feasibility box on savings: the borrowing limit from below,
+  /// and the choice pinning today's consumption at the floor from above.
+  struct Bounds {
+    std::vector<double> lower;
+    std::vector<double> upper;
+  };
+  [[nodiscard]] Bounds feasibility_bounds(int z, const DecodedState& s) const;
+
+  /// Unit-free KKT-projected Euler residual norm: components blocked by a
+  /// binding borrowing limit (residual > 0 at the lower bound) or by the
+  /// consumption floor (residual < 0 at the upper bound) are admissible and
+  /// count as zero; the rest is normalized by today's marginal utility.
+  [[nodiscard]] double projected_residual_norm(int z, const DecodedState& s,
+                                               std::span<const double> savings,
+                                               const Bounds& bounds,
+                                               const core::PolicyEvaluator& p_next,
+                                               int* interp_count = nullptr) const;
+
+ private:
+  struct NextPeriod {
+    double capital = 0.0;
+    std::vector<double> x_unit;       ///< next state mapped into [0,1]^d
+    std::vector<double> dofs;         ///< interpolated p_next(z', x')
+    FactorPrices prices;
+    double pension = 0.0;
+  };
+  /// Builds next-period objects for each successor shock (the interpolation
+  /// hot path).
+  void next_periods(const DecodedState& s, std::span<const double> savings,
+                    const core::PolicyEvaluator& p_next, std::vector<NextPeriod>& out,
+                    int* interp_count) const;
+
+  OlgEconomy econ_;
+  OlgModelOptions opts_;
+  CobbDouglasTechnology tech_;
+  SteadyState steady_;              // solved before prefs_: the floor is scale-aware
+  CrraPreferences prefs_;
+  sg::BoxDomain domain_;
+  double capital_floor_ = 1e-3;  ///< price evaluation guard
+};
+
+}  // namespace hddm::olg

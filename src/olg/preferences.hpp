@@ -1,0 +1,101 @@
+// CRRA preferences with a numerically-safe extension at the consumption
+// floor.
+//
+// Per-grid-point Newton iterations can propose consumption bundles outside
+// the economically admissible region (c <= 0) before converging back inside;
+// the quadratic extension of u' below c_min keeps the residual smooth and
+// strongly increasing there, so the solver is pushed back without NaNs —
+// the same role Ipopt's filter line search plays in the paper's stack.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hddm::olg {
+
+class CrraPreferences {
+ public:
+  /// `gamma` is relative risk aversion (gamma == 1 -> log utility);
+  /// `c_min` the floor below which the safe extension takes over.
+  explicit CrraPreferences(double gamma = 2.0, double c_min = 1e-6)
+      : gamma_(gamma), c_min_(c_min) {
+    if (gamma <= 0.0) throw std::invalid_argument("CrraPreferences: gamma must be positive");
+    if (c_min <= 0.0) throw std::invalid_argument("CrraPreferences: c_min must be positive");
+    u_min_ = utility_raw(c_min_);
+    mu_min_ = marginal_raw(c_min_);
+    // Slope of u' at the floor: u''(c) = -gamma c^(-gamma-1).
+    mu_slope_ = gamma_ * std::pow(c_min_, -gamma_ - 1.0);
+  }
+
+  [[nodiscard]] double gamma() const { return gamma_; }
+  [[nodiscard]] double consumption_floor() const { return c_min_; }
+
+  /// u(c), linearly extended below the floor.
+  [[nodiscard]] double utility(double c) const {
+    if (c >= c_min_) return utility_raw(c);
+    return u_min_ + mu_min_ * (c - c_min_);
+  }
+
+  /// u'(c) = c^(-gamma), with a linear (in c) extension below the floor that
+  /// keeps it positive, decreasing and C^1.
+  [[nodiscard]] double marginal_utility(double c) const {
+    if (c >= c_min_) return marginal_raw(c);
+    return mu_min_ + mu_slope_ * (c_min_ - c);
+  }
+
+  /// Inverse marginal utility on the interior branch: (u')^{-1}(m) = m^(-1/gamma).
+  [[nodiscard]] double inverse_marginal(double m) const {
+    if (m <= 0.0) throw std::invalid_argument("inverse_marginal: m must be positive");
+    return std::pow(m, -1.0 / gamma_);
+  }
+
+  // --- value-function storage support ------------------------------------
+  //
+  // Value functions approximated on sparse grids must stay bounded over the
+  // whole (rectangular, hence partly infeasible) state box: raw CRRA
+  // utilities near the consumption floor reach -1e6 and their hierarchical
+  // surpluses pollute the interpolant far into the interior. The standard
+  // cure (ubiquitous in Epstein-Zin solvers) is to store the *certainty-
+  // equivalent transform* of the value, which compresses (-inf, 0) into
+  // (0, inf) with the economically relevant region around O(1).
+
+  /// Unnormalized CRRA utility c^(1-gamma)/(1-gamma) (log for gamma = 1)
+  /// with the argument floored at c_min — used by value recursions, where
+  /// boundedness matters and gradients do not.
+  [[nodiscard]] double utility_unnormalized(double c) const {
+    const double cf = c > c_min_ ? c : c_min_;
+    if (gamma_ == 1.0) return std::log(cf);
+    return std::pow(cf, 1.0 - gamma_) / (1.0 - gamma_);
+  }
+
+  /// v (a discounted sum of unnormalized utilities) -> stored transform V.
+  /// gamma > 1: V = ((1-gamma) v)^(1/(1-gamma)) in (0, inf), increasing in v;
+  /// gamma = 1: V = exp(v).
+  [[nodiscard]] double value_transform(double v) const {
+    if (gamma_ == 1.0) return std::exp(v);
+    const double p = (1.0 - gamma_) * v;
+    return std::pow(p > 1e-300 ? p : 1e-300, 1.0 / (1.0 - gamma_));
+  }
+
+  /// Inverse of value_transform (with a floor keeping it finite).
+  [[nodiscard]] double value_untransform(double V) const {
+    const double Vf = V > 1e-12 ? V : 1e-12;
+    if (gamma_ == 1.0) return std::log(Vf);
+    return std::pow(Vf, 1.0 - gamma_) / (1.0 - gamma_);
+  }
+
+ private:
+  [[nodiscard]] double utility_raw(double c) const {
+    if (gamma_ == 1.0) return std::log(c);
+    return (std::pow(c, 1.0 - gamma_) - 1.0) / (1.0 - gamma_);
+  }
+  [[nodiscard]] double marginal_raw(double c) const { return std::pow(c, -gamma_); }
+
+  double gamma_;
+  double c_min_;
+  double u_min_ = 0.0;
+  double mu_min_ = 0.0;
+  double mu_slope_ = 0.0;
+};
+
+}  // namespace hddm::olg

@@ -1,0 +1,48 @@
+// Stochastic simulation of the solved OLG economy.
+//
+// Given a converged policy, simulates the economy forward: draw the shock
+// path from the Markov chain, roll the cross-sectional wealth distribution
+// forward with the interpolated asset demands, and record aggregates and
+// Euler-equation errors along the path. This is both the standard accuracy
+// measure for global solutions (errors on the *ergodic* set, where the
+// economy actually lives — the paper's "average error" of Sec. V-D) and the
+// tool for the counterfactual policy analysis the paper motivates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "olg/olg_model.hpp"
+#include "util/stats.hpp"
+
+namespace hddm::olg {
+
+struct SimulationOptions {
+  int periods = 200;
+  int burn_in = 20;            ///< periods dropped from the statistics
+  std::uint64_t seed = 12345;
+  bool measure_euler_errors = true;
+};
+
+struct SimulationResult {
+  std::vector<std::size_t> shock_path;
+  std::vector<double> capital_path;
+  std::vector<double> output_path;
+  std::vector<double> wage_path;
+  std::vector<double> rate_path;
+
+  util::RunningStats capital;      ///< post burn-in
+  util::RunningStats output;
+  util::RunningStats euler_error;  ///< projected residual along the path
+  /// Fraction of periods in which the next state had to be clamped into the
+  /// grid box (should be ~0 for a well-sized domain).
+  double box_clamp_fraction = 0.0;
+};
+
+/// Simulates the economy under `policy` starting from the deterministic
+/// steady state.
+SimulationResult simulate_economy(const OlgModel& model, const core::PolicyEvaluator& policy,
+                                  const SimulationOptions& options = {});
+
+}  // namespace hddm::olg

@@ -1,0 +1,93 @@
+#include "olg/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "olg/preferences.hpp"
+
+namespace hddm::olg {
+
+SteadyState solve_steady_state(const OlgEconomy& econ, double tolerance, int max_iterations) {
+  const int A = econ.ages();
+  const CobbDouglasTechnology tech(econ.cal.theta);
+
+  // Stationary-mean shock.
+  const std::vector<double> pi = econ.chain.stationary_distribution();
+  double eta = 0.0, delta = 0.0, tau_l = 0.0, tau_c = 0.0;
+  for (std::size_t z = 0; z < econ.num_shocks(); ++z) {
+    eta += pi[z] * econ.shocks[z].eta;
+    delta += pi[z] * econ.shocks[z].delta;
+    tau_l += pi[z] * econ.shocks[z].tau_labor;
+    tau_c += pi[z] * econ.shocks[z].tau_capital;
+  }
+
+  SteadyState ss;
+  ss.assets.assign(static_cast<std::size_t>(A), 0.0);
+  ss.consumption.assign(static_cast<std::size_t>(A), 0.0);
+  ss.savings.assign(static_cast<std::size_t>(A), 0.0);
+
+  double K = tech.golden_capital(econ.total_labor, eta, delta, econ.beta);
+  const double damping = 0.2;
+
+  for (int it = 0; it < max_iterations; ++it) {
+    ss.iterations = it + 1;
+    const FactorPrices p = tech.prices(K, econ.total_labor, eta, delta);
+    const double R = 1.0 + p.rate * (1.0 - tau_c);  // after-tax gross return
+    if (R <= 0.0) throw std::runtime_error("solve_steady_state: negative gross return");
+    const double pen = econ.pension(p.wage, tau_l);
+
+    // After-tax income by age.
+    std::vector<double> income(static_cast<std::size_t>(A));
+    for (int a = 1; a <= A; ++a) {
+      const double labor_inc = (1.0 - tau_l) * p.wage * econ.efficiency[a - 1];
+      income[a - 1] = labor_inc + (econ.is_retired(a) ? pen : 0.0);
+    }
+
+    // Euler consumption growth and the lifetime budget pin down c_1:
+    //   c_a = c_1 g^(a-1),  sum_a c_a / R^(a-1) = sum_a income_a / R^(a-1).
+    const double g = std::pow(econ.beta * R, 1.0 / econ.cal.gamma);
+    double pv_income = 0.0, pv_weights = 0.0, disc = 1.0, growth = 1.0;
+    for (int a = 1; a <= A; ++a) {
+      pv_income += income[a - 1] * disc;
+      pv_weights += growth * disc;
+      disc /= R;
+      growth *= g;
+    }
+    const double c1 = pv_income / pv_weights;
+
+    // Asset path: omega_{a+1} = R omega_a + income_a - c_a, omega_1 = 0.
+    double omega = 0.0, c = c1, K_new = 0.0;
+    for (int a = 1; a <= A; ++a) {
+      ss.assets[a - 1] = omega;
+      ss.consumption[a - 1] = c;
+      const double next_omega = R * omega + income[a - 1] - c;
+      ss.savings[a - 1] = (a < A) ? next_omega : 0.0;
+      K_new += omega;
+      omega = next_omega;
+      c *= g;
+    }
+    // (The terminal budget residual `omega` is ~0 by construction.)
+
+    // Early iterations can overshoot into negative aggregate savings (the
+    // lifecycle response to far-off prices); the damped update stays on a
+    // positive path and the fixed point is checked for positivity below.
+    double K_next = (1.0 - damping) * K + damping * K_new;
+    K_next = std::max(K_next, 0.05 * K);
+    if (std::fabs(K_next - K) < tolerance * std::max(1.0, K) && K_new > 0.0) {
+      K = K_next;
+      ss.converged = true;
+      break;
+    }
+    K = K_next;
+  }
+
+  if (!(K > 0.0))
+    throw std::runtime_error("solve_steady_state: nonpositive aggregate capital at fixed point");
+  ss.capital = K;
+  ss.prices = tech.prices(K, econ.total_labor, eta, delta);
+  ss.pension = econ.pension(ss.prices.wage, tau_l);
+  return ss;
+}
+
+}  // namespace hddm::olg

@@ -1,0 +1,37 @@
+// Deterministic steady state of the OLG economy.
+//
+// Used to center and size the sparse-grid state-space box B (Sec. II: the
+// domain is a rectangular box obtained by "re-scaling and possibly carefully
+// truncating" the economically relevant region) and as the time-iteration
+// warm start. Solved by damped fixed-point iteration on aggregate capital:
+// given prices, the lifecycle Euler equation has the closed-form consumption
+// growth c_{a+1} = c_a [beta R]^{1/gamma}, and the budget constraint pins
+// down the asset profile whose aggregate must reproduce K.
+#pragma once
+
+#include <vector>
+
+#include "olg/calibration.hpp"
+#include "olg/technology.hpp"
+
+namespace hddm::olg {
+
+struct SteadyState {
+  double capital = 0.0;
+  FactorPrices prices;
+  double pension = 0.0;
+  /// Beginning-of-period assets by age (1-based age a at index a-1;
+  /// assets[0] == 0 for newborns).
+  std::vector<double> assets;
+  std::vector<double> consumption;
+  std::vector<double> savings;  ///< end-of-period holdings k'_a
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Steady state at the stationary-mean shock (eta, delta, taxes averaged
+/// under the chain's stationary distribution).
+SteadyState solve_steady_state(const OlgEconomy& econ, double tolerance = 1e-10,
+                               int max_iterations = 2000);
+
+}  // namespace hddm::olg

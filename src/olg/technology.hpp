@@ -1,0 +1,55 @@
+// Cobb-Douglas production technology and factor prices.
+//
+// Y = eta * K^theta * L^(1-theta); competitive factor markets give the wage
+// and the (depreciation-adjusted) return on capital. The productivity shift
+// eta and depreciation delta vary with the discrete shock z (Sec. II:
+// "booms, busts").
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hddm::olg {
+
+struct FactorPrices {
+  double wage = 0.0;     ///< w = (1-theta) eta (K/L)^theta
+  double rate = 0.0;     ///< r = theta eta (K/L)^(theta-1) - delta
+  double output = 0.0;   ///< Y
+};
+
+class CobbDouglasTechnology {
+ public:
+  explicit CobbDouglasTechnology(double theta = 0.3) : theta_(theta) {
+    if (theta <= 0.0 || theta >= 1.0)
+      throw std::invalid_argument("CobbDouglasTechnology: theta must be in (0,1)");
+  }
+
+  [[nodiscard]] double capital_share() const { return theta_; }
+
+  [[nodiscard]] FactorPrices prices(double capital, double labor, double eta,
+                                    double delta) const {
+    if (capital <= 0.0 || labor <= 0.0)
+      throw std::invalid_argument("CobbDouglasTechnology: factors must be positive");
+    const double k_over_l = capital / labor;
+    FactorPrices p;
+    p.wage = (1.0 - theta_) * eta * std::pow(k_over_l, theta_);
+    p.rate = theta_ * eta * std::pow(k_over_l, theta_ - 1.0) - delta;
+    p.output = eta * std::pow(capital, theta_) * std::pow(labor, 1.0 - theta_);
+    return p;
+  }
+
+  /// Capital stock at which the deterministic economy with discount beta and
+  /// depreciation delta is in steady state under log-utility intuition:
+  /// solves theta * eta * (K/L)^(theta-1) - delta = 1/beta - 1.
+  [[nodiscard]] double golden_capital(double labor, double eta, double delta,
+                                      double beta) const {
+    const double target_rate = 1.0 / beta - 1.0 + delta;
+    const double k_over_l = std::pow(target_rate / (theta_ * eta), 1.0 / (theta_ - 1.0));
+    return k_over_l * labor;
+  }
+
+ private:
+  double theta_;
+};
+
+}  // namespace hddm::olg

@@ -1,0 +1,50 @@
+// Welfare analysis of solved OLG economies.
+//
+// The policy questions the paper motivates — social-security reform, optimal
+// taxation (Sec. I) — are answered by comparing *welfare* across
+// calibrations: the value functions solved alongside the asset demands
+// (the second half of the 2d policy coefficients) aggregated over states.
+// This module provides:
+//   * value-function readout by age at a given state,
+//   * ex-ante (newborn, behind-the-veil) welfare averaged over the shock
+//     distribution and the ergodic state distribution (via simulation),
+//   * consumption-equivalent variation (CEV) between two solved economies —
+//     the standard "how many percent of lifetime consumption is the reform
+//     worth" metric (Krueger-Kubler [5] report exactly this).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "olg/olg_model.hpp"
+
+namespace hddm::olg {
+
+/// Value function of each age 1..A-1 at state (z, x_unit) under `policy`.
+std::vector<double> value_by_age(const OlgModel& model, const core::PolicyEvaluator& policy,
+                                 int z, std::span<const double> x_unit);
+
+struct WelfareOptions {
+  int simulation_periods = 300;
+  int burn_in = 50;
+  std::uint64_t seed = 777;
+};
+
+/// Ex-ante welfare of a newborn: E[v_1(z, x)] with the expectation taken
+/// over the shock chain's stationary distribution and the simulated ergodic
+/// state distribution.
+double newborn_welfare(const OlgModel& model, const core::PolicyEvaluator& policy,
+                       const WelfareOptions& options = {});
+
+/// Consumption-equivalent variation of moving from economy A to economy B:
+/// the constant fraction lambda such that scaling A's consumption stream by
+/// (1 + lambda) makes the newborn indifferent. With CRRA utility
+/// (gamma != 1): 1 + lambda = (W_B / W_A)^(1/(1-gamma)) for utilities
+/// measured in levels; this helper works directly on the (already
+/// u-transformed) welfare numbers, handling the CRRA algebra and the
+/// utility constant.
+double consumption_equivalent_variation(double welfare_a, double welfare_b, double gamma,
+                                        double beta, int ages);
+
+}  // namespace hddm::olg

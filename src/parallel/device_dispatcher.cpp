@@ -1,0 +1,61 @@
+#include "parallel/device_dispatcher.hpp"
+
+namespace hddm::parallel {
+
+DeviceDispatcher::DeviceDispatcher(std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+DeviceDispatcher::~DeviceDispatcher() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+}
+
+bool DeviceDispatcher::try_offload(const kernels::InterpolationKernel& kernel, const double* x,
+                                   double* value) {
+  Request req{&kernel, x, value, false};
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || queue_.size() >= capacity_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(&req);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&req] { return req.done; });
+  offloaded_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DeviceDispatcher::dispatch_loop() {
+  for (;;) {
+    Request* req = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      req = queue_.front();
+      queue_.pop_front();
+    }
+    // The device kernel runs outside the lock — workers keep queueing.
+    req->kernel->evaluate(req->x, req->value);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      req->done = true;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace hddm::parallel

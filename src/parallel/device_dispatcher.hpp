@@ -1,0 +1,67 @@
+// Hybrid CPU/accelerator dispatch — Sec. IV-A's "one of the TBB-managed
+// threads is exclusively used for the GPU dispatch".
+//
+// A dedicated dispatcher thread models the single accelerator of a hybrid
+// node and serves interpolation requests from a bounded queue; each request
+// names the device kernel to run (one kernel per shock's grid, one physical
+// device). Worker threads *try* to offload an evaluation; when the queue is
+// full (device saturated) the caller falls back to its CPU kernel — that is
+// the "partial offload" the paper describes, and it degrades gracefully to
+// pure-CPU when no device is present.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "kernels/kernel_api.hpp"
+
+namespace hddm::parallel {
+
+class DeviceDispatcher {
+ public:
+  /// `queue_capacity` bounds the number of outstanding requests before
+  /// callers fall back to CPU.
+  explicit DeviceDispatcher(std::size_t queue_capacity = 16);
+  ~DeviceDispatcher();
+
+  DeviceDispatcher(const DeviceDispatcher&) = delete;
+  DeviceDispatcher& operator=(const DeviceDispatcher&) = delete;
+
+  /// Attempts to run the evaluation on the device. Returns true when the
+  /// device accepted and completed the request (the call blocks until the
+  /// result is in `value`); false when the queue was full — the caller
+  /// should evaluate on its CPU kernel instead. `kernel` must stay alive for
+  /// the duration of the call.
+  bool try_offload(const kernels::InterpolationKernel& kernel, const double* x, double* value);
+
+  [[nodiscard]] std::uint64_t offloaded() const { return offloaded_.load(); }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_.load(); }
+
+ private:
+  struct Request {
+    const kernels::InterpolationKernel* kernel;
+    const double* x;
+    double* value;
+    bool done = false;
+  };
+
+  void dispatch_loop();
+
+  const std::size_t capacity_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;    // dispatcher waits for work
+  std::condition_variable done_cv_;     // requesters wait for completion
+  std::deque<Request*> queue_;
+  bool stop_ = false;
+
+  std::atomic<std::uint64_t> offloaded_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::thread dispatcher_;
+};
+
+}  // namespace hddm::parallel

@@ -1,0 +1,41 @@
+// Blocked parallel_for on top of the work-stealing pool (TBB-style).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+
+#include "parallel/work_stealing_pool.hpp"
+
+namespace hddm::parallel {
+
+/// Runs body(i) for i in [begin, end) across the pool, splitting the range
+/// into blocks of `grain` indices. The first exception thrown by any block is
+/// rethrown on the calling thread after all blocks finish.
+template <class Body>
+void parallel_for(WorkStealingPool& pool, std::size_t begin, std::size_t end, const Body& body,
+                  std::size_t grain = 1) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(grain, 1);
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  for (std::size_t block = begin; block < end; block += grain) {
+    const std::size_t block_end = std::min(end, block + grain);
+    pool.submit([block, block_end, &body, &first_error, &error_mu] {
+      try {
+        for (std::size_t i = block; i < block_end; ++i) body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace hddm::parallel

@@ -1,0 +1,108 @@
+#include "parallel/work_stealing_pool.hpp"
+
+#include <chrono>
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace hddm::parallel {
+
+WorkStealingPool::WorkStealingPool(std::size_t workers) {
+  if (workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    workers = hw > 1 ? hw - 1 : 1;
+  }
+  queues_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  stop_.store(true);
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void WorkStealingPool::submit(Task task) {
+  const std::size_t q = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    const std::lock_guard<std::mutex> lock(queues_[q]->mu);
+    queues_[q]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  work_available_.notify_one();
+}
+
+bool WorkStealingPool::try_pop_local(std::size_t self, Task& task) {
+  WorkerQueue& q = *queues_[self];
+  const std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  // Owner pops LIFO — hot caches, like TBB.
+  task = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool WorkStealingPool::try_steal(std::size_t thief, Task& task) {
+  // Random victim order; one full sweep per attempt.
+  thread_local util::Rng rng(0xC0FFEE ^ std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const std::size_t n = queues_.size();
+  const std::size_t start = rng.uniform_index(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t victim = (start + k) % n;
+    if (victim == thief) continue;
+    WorkerQueue& q = *queues_[victim];
+    const std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    // Thieves take FIFO — the oldest (typically largest-remaining) work.
+    task = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool WorkStealingPool::run_one(std::size_t self) {
+  Task task;
+  if (!try_pop_local(self, task) && !try_steal(self, task)) return false;
+  task();
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) all_done_.notify_all();
+  return true;
+}
+
+void WorkStealingPool::worker_loop(std::size_t self) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    work_available_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+  }
+  // Drain remaining work on shutdown so no submitted task is lost.
+  while (run_one(self)) {
+  }
+}
+
+void WorkStealingPool::wait_idle() {
+  // The waiting thread executes tasks too; queues index `0` is used for its
+  // local pop attempts (it owns no queue, so it always steals — acceptable).
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    Task task;
+    if (try_steal(queues_.size(), task)) {
+      task();
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) all_done_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    all_done_.wait_for(lock, std::chrono::milliseconds(1),
+                       [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+}
+
+}  // namespace hddm::parallel

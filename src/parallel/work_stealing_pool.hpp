@@ -1,0 +1,73 @@
+// Work-stealing thread pool — the TBB substitute (see DESIGN.md).
+//
+// The paper distributes a node's grid points over TBB worker threads and
+// relies on TBB's task stealing to even out the wildly varying per-point
+// Newton solve times. This pool reproduces those semantics: each worker owns
+// a deque (LIFO for the owner, FIFO for thieves), idle workers steal from
+// random victims, and the submitting thread participates in execution while
+// waiting, so a pool of K workers gives K+1 executors during a wait.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hddm::parallel {
+
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `workers` = number of pool threads; 0 means hardware_concurrency - 1
+  /// (the submitting thread is the extra executor).
+  explicit WorkStealingPool(std::size_t workers = 0);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  /// Enqueues a task (round-robin over worker deques to seed stealing).
+  void submit(Task task);
+
+  /// Runs tasks (own queue first, then stealing) until all submitted tasks
+  /// completed. The calling thread executes tasks too.
+  void wait_idle();
+
+  /// Total tasks stolen from another worker's deque since construction — a
+  /// measure of how much rebalancing the workload needed (exposed for the
+  /// scheduler tests and the Fig. 7 bench diagnostics).
+  [[nodiscard]] std::uint64_t steal_count() const { return steals_.load(); }
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_.load(); }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop_local(std::size_t self, Task& task);
+  bool try_steal(std::size_t thief, Task& task);
+  bool run_one(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<bool> stop_{false};
+
+  std::mutex idle_mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+};
+
+}  // namespace hddm::parallel

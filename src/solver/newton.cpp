@@ -1,0 +1,272 @@
+#include "solver/newton.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace hddm::solver {
+
+std::string to_string(NewtonStatus status) {
+  switch (status) {
+    case NewtonStatus::Converged: return "converged";
+    case NewtonStatus::MaxIterations: return "max-iterations";
+    case NewtonStatus::LineSearchFailed: return "line-search-failed";
+    case NewtonStatus::SingularJacobian: return "singular-jacobian";
+  }
+  return "unknown";
+}
+
+void finite_difference_jacobian(const ResidualFn& residual, std::span<const double> u,
+                                std::span<const double> f_of_u, double epsilon,
+                                util::Matrix& jac, int* eval_count) {
+  const std::size_t n = u.size();
+  std::vector<double> up(u.begin(), u.end());
+  std::vector<double> fp(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    // Scale the step with the variable's magnitude for well-conditioned
+    // differences over wide state ranges (wealth can be O(10), taxes O(0.1)).
+    const double h = epsilon * std::max(1.0, std::fabs(u[c]));
+    const double saved = up[c];
+    up[c] = saved + h;
+    const double actual_h = up[c] - saved;  // exact representable step
+    residual(up, fp);
+    if (eval_count != nullptr) ++(*eval_count);
+    for (std::size_t r = 0; r < n; ++r) jac(r, c) = (fp[r] - f_of_u[r]) / actual_h;
+    up[c] = saved;
+  }
+}
+
+namespace {
+
+void clip_to_box(std::vector<double>& u, const NewtonOptions& options) {
+  if (!options.lower.empty())
+    for (std::size_t t = 0; t < u.size(); ++t) u[t] = std::max(u[t], options.lower[t]);
+  if (!options.upper.empty())
+    for (std::size_t t = 0; t < u.size(); ++t) u[t] = std::min(u[t], options.upper[t]);
+}
+
+double merit(std::span<const double> f) {
+  double s = 0.0;
+  for (const double v : f) s += v * v;
+  return 0.5 * s;
+}
+
+double inf_norm(std::span<const double> v) {
+  double m = 0.0;
+  for (const double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace
+
+namespace {
+
+/// Merit over free residual components only: pinned (active-set) components
+/// cannot be driven to zero and must not poison the line search.
+double merit_free(std::span<const double> f, const std::vector<bool>& active) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i)
+    if (!active[i]) s += f[i] * f[i];
+  return 0.5 * s;
+}
+
+double inf_norm_free(std::span<const double> f, const std::vector<bool>& active) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i)
+    if (!active[i]) m = std::max(m, std::fabs(f[i]));
+  return m;
+}
+
+}  // namespace
+
+NewtonResult solve_newton(const ResidualFn& residual, std::span<const double> initial,
+                          const NewtonOptions& options, const JacobianFn* jacobian) {
+  const std::size_t n = initial.size();
+  if (n == 0) throw std::invalid_argument("solve_newton: empty system");
+  if (!options.lower.empty() && options.lower.size() != n)
+    throw std::invalid_argument("solve_newton: lower bound size mismatch");
+  if (!options.upper.empty() && options.upper.size() != n)
+    throw std::invalid_argument("solve_newton: upper bound size mismatch");
+  const bool bounded = !options.lower.empty() || !options.upper.empty();
+
+  NewtonResult result;
+  std::vector<double> u(initial.begin(), initial.end());
+  clip_to_box(u, options);
+
+  std::vector<double> f(n), f_trial(n), u_trial(n), du(n);
+  std::vector<bool> active(n, false);
+  util::Matrix jac(n, n);
+
+  auto at_lower = [&](std::size_t i) {
+    return !options.lower.empty() && u[i] <= options.lower[i] + 1e-14 * (1.0 + std::fabs(options.lower[i]));
+  };
+  auto at_upper = [&](std::size_t i) {
+    return !options.upper.empty() && u[i] >= options.upper[i] - 1e-14 * (1.0 + std::fabs(options.upper[i]));
+  };
+
+  residual(u, f);
+  ++result.residual_evaluations;
+  double fnorm = inf_norm(f);
+  double m0 = merit(f);
+
+  std::optional<util::LuFactorization> lu;
+  int iters_since_factorization = 0;
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it;
+    if (fnorm <= options.tolerance) {
+      result.status = NewtonStatus::Converged;
+      break;
+    }
+
+    // (Re)build and factorize the Jacobian. With Broyden updates enabled, the
+    // factorization is refreshed periodically; otherwise every iteration.
+    const bool refresh =
+        !options.use_broyden || !lu.has_value() || iters_since_factorization >= options.broyden_refresh;
+    if (refresh) {
+      if (jacobian != nullptr) {
+        (*jacobian)(u, jac);
+      } else {
+        finite_difference_jacobian(residual, u, f, options.fd_epsilon, jac,
+                                   &result.residual_evaluations);
+      }
+      try {
+        lu.emplace(jac);
+      } catch (const util::SingularMatrixError&) {
+        result.status = NewtonStatus::SingularJacobian;
+        break;
+      }
+      ++result.jacobian_factorizations;
+      iters_since_factorization = 0;
+    }
+
+    // Newton direction du = -J^{-1} F on the full system.
+    du = lu->solve(f);
+    for (double& v : du) v = -v;
+
+    // Active-set pass (bounded problems): variables sitting on a bound with
+    // an outward-pointing step are pinned; the reduced system over the free
+    // variables is re-solved with the pinned columns/rows removed.
+    std::fill(active.begin(), active.end(), false);
+    if (bounded) {
+      bool any_active = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((at_lower(i) && du[i] < 0.0) || (at_upper(i) && du[i] > 0.0)) {
+          active[i] = true;
+          any_active = true;
+        }
+      }
+      if (any_active) {
+        std::vector<std::size_t> free_idx;
+        for (std::size_t i = 0; i < n; ++i)
+          if (!active[i]) free_idx.push_back(i);
+        std::fill(du.begin(), du.end(), 0.0);
+        if (!free_idx.empty()) {
+          const std::size_t m = free_idx.size();
+          util::Matrix reduced(m, m);
+          std::vector<double> f_red(m);
+          for (std::size_t r = 0; r < m; ++r) {
+            f_red[r] = f[free_idx[r]];
+            for (std::size_t c = 0; c < m; ++c) reduced(r, c) = jac(free_idx[r], free_idx[c]);
+          }
+          try {
+            const std::vector<double> du_red = util::solve_dense(std::move(reduced), f_red);
+            for (std::size_t r = 0; r < m; ++r) du[free_idx[r]] = -du_red[r];
+          } catch (const util::SingularMatrixError&) {
+            result.status = NewtonStatus::SingularJacobian;
+            break;
+          }
+        } else {
+          // Every variable pinned: the KKT point is the current corner.
+          result.status = NewtonStatus::Converged;
+          break;
+        }
+        m0 = merit_free(f, active);
+        fnorm = inf_norm_free(f, active);
+        if (fnorm <= options.tolerance) {
+          result.status = NewtonStatus::Converged;
+          break;
+        }
+      }
+    }
+    if (result.status == NewtonStatus::SingularJacobian ||
+        result.status == NewtonStatus::Converged)
+      break;
+
+    if (inf_norm(du) <= options.step_tolerance) {
+      // No representable progress left; accept if the residual is small-ish.
+      result.status = fnorm <= std::sqrt(options.tolerance) ? NewtonStatus::Converged
+                                                            : NewtonStatus::LineSearchFailed;
+      break;
+    }
+
+    // Armijo backtracking on the (free-component) merit 0.5||F||^2. For
+    // Newton directions the expected decrease is the full merit, so the
+    // acceptance test uses m0 itself.
+    double lambda = 1.0;
+    bool accepted = false;
+    for (int bt = 0; bt < options.max_backtracks; ++bt) {
+      for (std::size_t t = 0; t < n; ++t) u_trial[t] = u[t] + lambda * du[t];
+      clip_to_box(u_trial, options);
+      residual(u_trial, f_trial);
+      ++result.residual_evaluations;
+      const double m_trial = merit_free(f_trial, active);
+      if (m_trial <= (1.0 - 2.0 * options.armijo_c * lambda) * m0 || m_trial < m0 * 1e-8) {
+        accepted = true;
+        break;
+      }
+      lambda *= 0.5;
+      if (lambda < options.min_damping) break;
+    }
+    if (!accepted) {
+      result.status = NewtonStatus::LineSearchFailed;
+      break;
+    }
+
+    // Broyden rank-one update: J <- J + (df - J du_step) du_step^T / ||du_step||^2.
+    if (options.use_broyden) {
+      std::vector<double> du_step(n), df(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        du_step[t] = u_trial[t] - u[t];
+        df[t] = f_trial[t] - f[t];
+      }
+      const std::vector<double> jdu = jac.apply(du_step);
+      double denom = 0.0;
+      for (const double v : du_step) denom += v * v;
+      if (denom > 0.0) {
+        for (std::size_t r = 0; r < n; ++r) {
+          const double scale = (df[r] - jdu[r]) / denom;
+          for (std::size_t c = 0; c < n; ++c) jac(r, c) += scale * du_step[c];
+        }
+        // The factorization is stale after the update; refresh lazily when
+        // the next solve happens (cheap policy: refactorize every iteration
+        // of the updated matrix — still saves residual evaluations, which
+        // dominate in interpolation-heavy models).
+        try {
+          lu.emplace(jac);
+        } catch (const util::SingularMatrixError&) {
+          lu.reset();  // force a fresh finite-difference Jacobian next round
+        }
+        ++iters_since_factorization;
+      }
+    } else {
+      ++iters_since_factorization;
+    }
+
+    u.swap(u_trial);
+    f.swap(f_trial);
+    fnorm = inf_norm(f);
+    m0 = merit(f);
+    result.iterations = it + 1;
+  }
+
+  if (result.status == NewtonStatus::MaxIterations && fnorm <= options.tolerance)
+    result.status = NewtonStatus::Converged;
+  result.solution = std::move(u);
+  result.residual_norm = fnorm;
+  return result;
+}
+
+}  // namespace hddm::solver

@@ -1,0 +1,78 @@
+// Damped Newton solver for square nonlinear systems F(u) = 0.
+//
+// This is the per-grid-point equilibrium solver — the role Ipopt plays in
+// the paper (~60 smooth equations in 60 unknowns per point). A globalized
+// Newton iteration with Armijo backtracking on the merit function
+// 0.5 ||F||^2 is the standard choice for smooth Euler systems; optional box
+// clipping keeps iterates inside economically meaningful ranges. The
+// Jacobian is either supplied analytically or approximated by forward finite
+// differences; a Broyden rank-one update can amortize factorizations across
+// iterations for expensive residuals.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/linalg.hpp"
+
+namespace hddm::solver {
+
+/// Residual callback: writes F(u) into `out` (both of size n).
+using ResidualFn = std::function<void(std::span<const double> u, std::span<double> out)>;
+/// Optional analytic Jacobian callback.
+using JacobianFn = std::function<void(std::span<const double> u, util::Matrix& jac)>;
+
+struct NewtonOptions {
+  int max_iterations = 60;
+  double tolerance = 1e-9;            ///< on ||F||_inf (free components)
+  double step_tolerance = 1e-13;      ///< on ||du||_inf (stagnation)
+  double fd_epsilon = 1e-7;           ///< forward-difference step scale
+  double armijo_c = 1e-4;             ///< sufficient-decrease constant
+  double min_damping = 1e-6;          ///< smallest accepted step fraction
+  int max_backtracks = 30;
+  bool use_broyden = false;           ///< rank-one updates between re-factorizations
+  int broyden_refresh = 8;            ///< full Jacobian every this many iterations
+  /// Optional box (empty = unbounded). With bounds, the solver runs an
+  /// active-set projected Newton: variables whose Newton step points outside
+  /// a bound they sit on are pinned for the iteration, the reduced system is
+  /// solved for the remaining variables, and the merit function covers free
+  /// residual components only. Convergence means the *free* residuals
+  /// vanish; pinned components are the caller's KKT conditions to check.
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+enum class NewtonStatus {
+  Converged,
+  MaxIterations,
+  LineSearchFailed,
+  SingularJacobian,
+};
+
+std::string to_string(NewtonStatus status);
+
+struct NewtonResult {
+  NewtonStatus status = NewtonStatus::MaxIterations;
+  std::vector<double> solution;
+  double residual_norm = 0.0;   ///< final ||F||_inf
+  int iterations = 0;
+  int residual_evaluations = 0;
+  int jacobian_factorizations = 0;
+  [[nodiscard]] bool converged() const { return status == NewtonStatus::Converged; }
+};
+
+/// Solves F(u) = 0 starting from `initial`. When `jacobian` is null a
+/// forward finite-difference approximation is used.
+NewtonResult solve_newton(const ResidualFn& residual, std::span<const double> initial,
+                          const NewtonOptions& options = {}, const JacobianFn* jacobian = nullptr);
+
+/// Forward finite-difference Jacobian (exposed for tests and for models that
+/// want to mix analytic columns with numeric ones).
+void finite_difference_jacobian(const ResidualFn& residual, std::span<const double> u,
+                                std::span<const double> f_of_u, double epsilon,
+                                util::Matrix& jac, int* eval_count = nullptr);
+
+}  // namespace hddm::solver

@@ -1,0 +1,29 @@
+#include "sparse_grid/dense_format.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hddm::sg {
+
+DenseGridData make_dense_grid(const GridStorage& storage, int ndofs,
+                              std::span<const double> surpluses) {
+  DenseGridData g = make_dense_grid(storage, ndofs);
+  if (surpluses.size() != g.surplus.size())
+    throw std::invalid_argument("make_dense_grid: surplus size mismatch");
+  std::copy(surpluses.begin(), surpluses.end(), g.surplus.begin());
+  return g;
+}
+
+DenseGridData make_dense_grid(const GridStorage& storage, int ndofs) {
+  if (ndofs <= 0) throw std::invalid_argument("make_dense_grid: ndofs must be positive");
+  DenseGridData g;
+  g.dim = storage.dim();
+  g.ndofs = ndofs;
+  g.nno = storage.size();
+  const auto flat = storage.flat_pairs();
+  g.pairs.assign(flat.begin(), flat.end());
+  g.surplus.assign(static_cast<std::size_t>(g.nno) * ndofs, 0.0);
+  return g;
+}
+
+}  // namespace hddm::sg

@@ -1,0 +1,48 @@
+// Dense ("gold") storage format for ASG interpolation.
+//
+// This is the matrix-style layout of the authors' earlier work [18], based on
+// Heinecke & Pflüger: an nno x d matrix of (level, index) pairs plus an
+// nno x ndofs surplus matrix. The `gold` kernel (src/kernels/gold.cpp)
+// operates directly on this structure; the compression pipeline
+// (src/core/compression.hpp) consumes it as input. It is the baseline the
+// paper's Table II / Fig. 6 normalize against.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse_grid/grid_storage.hpp"
+#include "util/aligned.hpp"
+
+namespace hddm::sg {
+
+struct DenseGridData {
+  int dim = 0;
+  int ndofs = 0;
+  std::uint32_t nno = 0;
+  /// nno x dim pairs, row-major (point-major).
+  std::vector<LevelIndex> pairs;
+  /// nno x ndofs hierarchical surpluses, row-major, 64-byte aligned.
+  util::aligned_vector<double> surplus;
+
+  [[nodiscard]] MultiIndexView point(std::uint32_t p) const {
+    return {pairs.data() + static_cast<std::size_t>(p) * dim, static_cast<std::size_t>(dim)};
+  }
+  [[nodiscard]] const double* surplus_row(std::uint32_t p) const {
+    return surplus.data() + static_cast<std::size_t>(p) * ndofs;
+  }
+  [[nodiscard]] double* surplus_row(std::uint32_t p) {
+    return surplus.data() + static_cast<std::size_t>(p) * ndofs;
+  }
+};
+
+/// Assembles the dense format from a point set and a surplus matrix
+/// (surpluses.size() == storage.size() * ndofs, point-major).
+DenseGridData make_dense_grid(const GridStorage& storage, int ndofs,
+                              std::span<const double> surpluses);
+
+/// Dense format with surpluses left zero (the caller fills them later).
+DenseGridData make_dense_grid(const GridStorage& storage, int ndofs);
+
+}  // namespace hddm::sg

@@ -1,0 +1,66 @@
+#include "sparse_grid/hash_backend.hpp"
+
+#include <stdexcept>
+
+#include "sparse_grid/basis.hpp"
+
+namespace hddm::sg {
+
+namespace {
+thread_local std::uint64_t g_lookups = 0;
+}
+
+std::uint64_t HashGridEvaluator::last_lookups() { return g_lookups; }
+
+HashGridEvaluator::HashGridEvaluator(const DenseGridData& dense)
+    : dense_(dense), index_(dense.dim) {
+  index_.reserve(dense.nno);
+  for (std::uint32_t p = 0; p < dense_.nno; ++p) {
+    const auto [id, inserted] = index_.insert(dense_.point(p));
+    if (!inserted) throw std::invalid_argument("HashGridEvaluator: duplicate point");
+    if (id != p) throw std::invalid_argument("HashGridEvaluator: id mismatch");
+  }
+}
+
+void HashGridEvaluator::evaluate(const double* x, double* value) const {
+  g_lookups = 0;
+  for (int dof = 0; dof < dense_.ndofs; ++dof) value[dof] = 0.0;
+  if (dense_.nno == 0) return;
+
+  MultiIndex root(static_cast<std::size_t>(dense_.dim), kRootPair);
+  ++g_lookups;
+  const auto root_id = index_.find(root);
+  if (!root_id) return;  // grids always contain the root once non-empty
+  descend(*root_id, root, 1.0, 0, x, value);
+}
+
+void HashGridEvaluator::descend(std::uint32_t id, MultiIndex& node, double phi, int from_dim,
+                                const double* x, double* value) const {
+  // Accumulate this node's contribution (phi > 0 here).
+  const double* row = dense_.surplus_row(id);
+  for (int dof = 0; dof < dense_.ndofs; ++dof) value[dof] += phi * row[dof];
+
+  // Descend into children whose support contains x. Restricting the child
+  // dimension to >= from_dim makes the (sorted-dimension) path to every
+  // contributing node unique, so each node is visited exactly once.
+  for (int t = from_dim; t < dense_.dim; ++t) {
+    const LevelIndex current = node[static_cast<std::size_t>(t)];
+    LevelIndex kids[2];
+    const int nkids = children(current, kids);
+    for (int c = 0; c < nkids; ++c) {
+      const double hat = hat_value(kids[c], x[t]);
+      if (hat <= 0.0) continue;  // support does not contain x
+      // The child's tensor factor replaces the parent's in dimension t.
+      const double parent_hat = hat_value(current, x[t]);
+      if (parent_hat <= 0.0) continue;  // cannot happen for containing nodes
+      const double child_phi = phi / parent_hat * hat;
+      node[static_cast<std::size_t>(t)] = kids[c];
+      ++g_lookups;
+      if (const auto child_id = index_.find(node))
+        descend(*child_id, node, child_phi, t, x, value);
+      node[static_cast<std::size_t>(t)] = current;
+    }
+  }
+}
+
+}  // namespace hddm::sg

@@ -1,0 +1,52 @@
+// Hash-table ASG storage/evaluation backend.
+//
+// Sec. IV-B of the paper names the two widespread ASG storage techniques —
+// matrix-style layouts (our DenseGridData, the `gold` baseline) and hash
+// tables (Bungartz & Dirnstorfer [22]) — before introducing its compression
+// scheme. This backend implements the hash-table alternative so the ablation
+// bench can compare all three on equal footing.
+//
+// Evaluation walks the hierarchical tree top-down: starting from the root
+// point, it descends, per dimension, into the single child whose support
+// contains the evaluation point, looking each candidate up in the hash
+// index. Only nodes whose basis function is nonzero at x are visited, so the
+// cost is O(#contributing nodes * d) hash lookups — independent of the total
+// grid size, but with pointer-chasing access patterns (the very behaviour
+// the paper's compression avoids). Requires an ancestor-closed grid: the
+// canonical sorted-dimension descent path to every contributing node must
+// exist.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "sparse_grid/dense_format.hpp"
+#include "sparse_grid/grid_storage.hpp"
+
+namespace hddm::sg {
+
+class HashGridEvaluator {
+ public:
+  /// Indexes the dense grid's points. The dense data must stay alive and
+  /// ancestor-closed for the evaluator's lifetime.
+  explicit HashGridEvaluator(const DenseGridData& dense);
+
+  [[nodiscard]] int dim() const { return dense_.dim; }
+  [[nodiscard]] int ndofs() const { return dense_.ndofs; }
+
+  /// value[0..ndofs) = u(x); overwrites value. Thread-safe.
+  void evaluate(const double* x, double* value) const;
+
+  /// Number of hash lookups the last evaluate() performed on this thread
+  /// (diagnostic for the ablation bench).
+  [[nodiscard]] static std::uint64_t last_lookups();
+
+ private:
+  void descend(std::uint32_t id, MultiIndex& node, double phi, int from_dim, const double* x,
+               double* value) const;
+
+  const DenseGridData& dense_;
+  GridStorage index_;  // rebuildable hash index over the dense points
+};
+
+}  // namespace hddm::sg

@@ -1,0 +1,41 @@
+#include "sparse_grid/interpolate.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hddm::sg {
+
+double reference_interpolate_one(const GridStorage& storage, std::span<const double> surplus,
+                                 std::span<const double> x) {
+  if (surplus.size() != storage.size())
+    throw std::invalid_argument("reference_interpolate_one: surplus size mismatch");
+  double acc = 0.0;
+  for (std::uint32_t p = 0; p < storage.size(); ++p) {
+    const double phi = tensor_basis_value(storage.point(p), x);
+    if (phi != 0.0) acc += surplus[p] * phi;
+  }
+  return acc;
+}
+
+void reference_interpolate(const DenseGridData& grid, std::span<const double> x,
+                           std::span<double> value) {
+  reference_interpolate_below(grid, std::numeric_limits<int>::max(), x, value);
+}
+
+void reference_interpolate_below(const DenseGridData& grid, int level_sum_bound,
+                                 std::span<const double> x, std::span<double> value) {
+  if (static_cast<int>(value.size()) != grid.ndofs)
+    throw std::invalid_argument("reference_interpolate: value size mismatch");
+  std::fill(value.begin(), value.end(), 0.0);
+  for (std::uint32_t p = 0; p < grid.nno; ++p) {
+    const MultiIndexView mi = grid.point(p);
+    if (level_sum(mi) >= level_sum_bound) continue;
+    const double phi = tensor_basis_value(mi, x);
+    if (phi == 0.0) continue;
+    const double* row = grid.surplus_row(p);
+    for (int dof = 0; dof < grid.ndofs; ++dof) value[dof] += phi * row[dof];
+  }
+}
+
+}  // namespace hddm::sg

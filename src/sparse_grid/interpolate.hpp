@@ -1,0 +1,31 @@
+// Reference (unoptimized but obviously-correct) ASG interpolation.
+//
+// Evaluates Eq. (14) by direct summation over all points with per-dimension
+// early exit — semantically identical to the `gold` kernel but written for
+// clarity. Tests validate every optimized kernel against this implementation;
+// hierarchization uses it on small grids.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse_grid/dense_format.hpp"
+#include "sparse_grid/grid_storage.hpp"
+
+namespace hddm::sg {
+
+/// u(x) for a single dof column: sum_p alpha_p * phi_p(x).
+double reference_interpolate_one(const GridStorage& storage, std::span<const double> surplus,
+                                 std::span<const double> x);
+
+/// All-dof evaluation on the dense format: value[0..ndofs) = u(x).
+void reference_interpolate(const DenseGridData& grid, std::span<const double> x,
+                           std::span<double> value);
+
+/// Restricted evaluation using only points whose level sum is strictly below
+/// `level_sum_bound` — the partial interpolant u_{L-1} needed by level-wise
+/// hierarchization.
+void reference_interpolate_below(const DenseGridData& grid, int level_sum_bound,
+                                 std::span<const double> x, std::span<double> value);
+
+}  // namespace hddm::sg

@@ -1,0 +1,45 @@
+#include "sparse_grid/quadrature.hpp"
+
+#include <cmath>
+
+namespace hddm::sg {
+
+double hat_integral(LevelIndex li) {
+  if (li.l == 1) return 1.0;
+  if (li.l == 2) return 0.25;  // half-hat at the boundary: (1/2 * 1/2 * 1)
+  return std::ldexp(1.0, 1 - static_cast<int>(li.l));  // full hat: width/2
+}
+
+double basis_integral(MultiIndexView mi) {
+  double w = 1.0;
+  for (const LevelIndex& li : mi) w *= hat_integral(li);
+  return w;
+}
+
+std::vector<double> quadrature_weights(const DenseGridData& grid) {
+  std::vector<double> weights(grid.nno);
+  for (std::uint32_t p = 0; p < grid.nno; ++p) weights[p] = basis_integral(grid.point(p));
+  return weights;
+}
+
+std::vector<double> integrate(const DenseGridData& grid) {
+  std::vector<double> out(static_cast<std::size_t>(grid.ndofs), 0.0);
+  for (std::uint32_t p = 0; p < grid.nno; ++p) {
+    const double w = basis_integral(grid.point(p));
+    if (w == 0.0) continue;
+    const double* row = grid.surplus_row(p);
+    for (int dof = 0; dof < grid.ndofs; ++dof) out[static_cast<std::size_t>(dof)] += w * row[dof];
+  }
+  return out;
+}
+
+std::vector<double> integrate(const DenseGridData& grid, const BoxDomain& domain) {
+  std::vector<double> out = integrate(grid);
+  double volume = 1.0;
+  for (int t = 0; t < domain.dim(); ++t)
+    volume *= domain.upper()[static_cast<std::size_t>(t)] - domain.lower()[static_cast<std::size_t>(t)];
+  for (double& v : out) v *= volume;
+  return out;
+}
+
+}  // namespace hddm::sg

@@ -1,0 +1,41 @@
+// Quadrature on (adaptive) sparse grids: exact integration of the
+// piecewise-multilinear interpolant.
+//
+// Every basis function is a tensor product of 1-D hats with closed-form
+// integrals over [0,1]:
+//   level 1 (constant):            1
+//   level 2 (boundary half-hats):  1/4          (support width 1/2, peak 1)
+//   level l > 2 (interior hats):   2^(1-l)      (width 2^(2-l), peak 1)
+// so  ∫ u = Σ_p α_p Π_t w(l_t).  This makes expectations of solved policy
+// and value functions over the state-space box cheap and exact — the
+// aggregation step of welfare analyses in the paper's application domain
+// (e.g. averaging value functions over the wealth distribution's support).
+// For a physical box B the unit integral scales by vol(B).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse_grid/dense_format.hpp"
+#include "sparse_grid/domain.hpp"
+
+namespace hddm::sg {
+
+/// Integral of the 1-D hat phi_{l,i} over [0,1].
+double hat_integral(LevelIndex li);
+
+/// Integral of the tensor basis over [0,1]^d.
+double basis_integral(MultiIndexView mi);
+
+/// Exact integrals of all ndofs interpolant components over the unit cube.
+std::vector<double> integrate(const DenseGridData& grid);
+
+/// Integrals over the physical box (unit integrals times vol(B)).
+std::vector<double> integrate(const DenseGridData& grid, const BoxDomain& domain);
+
+/// Quadrature weights per grid point (w_p = Π_t w(l_t)); the integral of dof
+/// k is Σ_p weights[p] * surplus(p, k). Exposed so callers can reuse the
+/// weights across surplus updates (time iterations).
+std::vector<double> quadrature_weights(const DenseGridData& grid);
+
+}  // namespace hddm::sg

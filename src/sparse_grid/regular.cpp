@@ -1,0 +1,107 @@
+#include "sparse_grid/regular.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sparse_grid/basis.hpp"
+
+namespace hddm::sg {
+
+namespace {
+
+// Coefficient c_b = number of 1-D pairs with l - 1 == b:
+//   b=0 -> 1 (root), b=1 -> 2 (boundary), b>=2 -> 2^(b-1) (odd interior).
+std::uint64_t pair_count_for_budget(int b) {
+  if (b == 0) return 1;
+  if (b == 1) return 2;
+  return std::uint64_t{1} << (b - 1);
+}
+
+// Enumerates all index combinations for a fixed level vector, one dimension
+// at a time; `emit` receives each completed multi-index.
+template <class Emit>
+void enumerate_indices(MultiIndex& mi, int t, Emit&& emit) {
+  const int dim = static_cast<int>(mi.size());
+  if (t == dim) {
+    emit(mi);
+    return;
+  }
+  const level_t l = mi[t].l;
+  if (l == 1) {
+    mi[t].i = 1;
+    enumerate_indices(mi, t + 1, emit);
+  } else if (l == 2) {
+    for (index_t i : {index_t{0}, index_t{2}}) {
+      mi[t].i = i;
+      enumerate_indices(mi, t + 1, emit);
+    }
+  } else {
+    const index_t top = index_t{1} << (l - 1);
+    for (index_t i = 1; i < top; i += 2) {
+      mi[t].i = i;
+      enumerate_indices(mi, t + 1, emit);
+    }
+  }
+}
+
+// Enumerates level vectors with total extra budget exactly `budget`
+// distributed over dimensions t..d-1, then their index combinations.
+template <class Emit>
+void enumerate_level_vectors(MultiIndex& mi, int t, int budget, Emit&& emit) {
+  const int dim = static_cast<int>(mi.size());
+  if (budget == 0) {
+    for (int s = t; s < dim; ++s) mi[s].l = 1;
+    enumerate_indices(mi, 0, emit);
+    return;
+  }
+  if (t == dim) return;
+  // Dimension t takes 0..budget extra levels; the recursion assigns the rest.
+  for (int extra = 0; extra <= budget; ++extra) {
+    mi[t].l = static_cast<level_t>(1 + extra);
+    enumerate_level_vectors(mi, t + 1, budget - extra, emit);
+  }
+}
+
+}  // namespace
+
+std::uint64_t count_regular_points(int dim, int level) {
+  if (dim <= 0 || level <= 0) throw std::invalid_argument("count_regular_points: bad arguments");
+  // Polynomial coefficients of f(x)^d truncated beyond degree level-1,
+  // built by d successive multiplications with f.
+  const int maxdeg = level - 1;
+  std::vector<std::uint64_t> acc(maxdeg + 1, 0), next(maxdeg + 1, 0);
+  acc[0] = 1;
+  for (int rep = 0; rep < dim; ++rep) {
+    std::fill(next.begin(), next.end(), 0);
+    for (int a = 0; a <= maxdeg; ++a) {
+      if (acc[a] == 0) continue;
+      for (int b = 0; a + b <= maxdeg; ++b) next[a + b] += acc[a] * pair_count_for_budget(b);
+    }
+    acc.swap(next);
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : acc) total += c;
+  return total;
+}
+
+std::uint64_t count_level_increment(int dim, int level) {
+  if (level == 1) return count_regular_points(dim, 1);
+  return count_regular_points(dim, level) - count_regular_points(dim, level - 1);
+}
+
+void build_regular_grid(GridStorage& storage, int level) {
+  if (!storage.empty()) throw std::invalid_argument("build_regular_grid: storage must be empty");
+  for (int l = 1; l <= level; ++l) append_level_increment(storage, l);
+}
+
+void append_level_increment(GridStorage& storage, int level) {
+  if (level <= 0) throw std::invalid_argument("append_level_increment: bad level");
+  const int dim = storage.dim();
+  MultiIndex mi(static_cast<std::size_t>(dim));
+  // Points with |l|_1 == level + d - 1 have total extra budget level - 1.
+  enumerate_level_vectors(mi, 0, level - 1, [&storage](const MultiIndex& point) {
+    storage.insert(point);
+  });
+}
+
+}  // namespace hddm::sg

@@ -1,0 +1,36 @@
+// Regular (non-adaptive) sparse grid construction — the space V_n^S of
+// Eq. (13): all points with |l|_1 <= n + d - 1.
+//
+// The paper's Table I / strong-scaling experiments use regular grids of
+// levels 2..4 in d = 59 (119 / 7,081 / 281,077 points); count_regular_points
+// reproduces those counts exactly and is tested against them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse_grid/grid_storage.hpp"
+
+namespace hddm::sg {
+
+/// Number of points of the regular sparse grid V_n^S in d dimensions.
+/// Computed from the per-dimension generating function
+///   f(x) = 1 + 2x + sum_{l>=3} 2^(l-2) x^(l-1)
+/// as sum of the coefficients of x^0..x^(n-1) in f(x)^d.
+std::uint64_t count_regular_points(int dim, int level);
+
+/// Number of points the level-`level` construction adds on top of the
+/// level-(`level`-1) grid (points with |l|_1 == level + d - 1).
+std::uint64_t count_level_increment(int dim, int level);
+
+/// Builds the regular sparse grid of the given level into `storage`
+/// (which must be empty). Points are inserted grouped by ascending level
+/// sum, so ids are already in hierarchization order.
+void build_regular_grid(GridStorage& storage, int level);
+
+/// Appends only the points with |l|_1 == level + d - 1 (the increment from
+/// level-1 to level); used for the level-by-level time-iteration refinement
+/// loop and the "restart from level 2" protocol of Sec. V-C.
+void append_level_increment(GridStorage& storage, int level);
+
+}  // namespace hddm::sg

@@ -1,0 +1,54 @@
+// Aligned memory allocation helpers.
+//
+// The vectorized interpolation kernels (src/kernels/) load surplus rows with
+// 256/512-bit vector instructions; aligning the backing storage to 64 bytes
+// keeps every row load on a cache-line boundary and lets the AVX-512 kernel
+// use aligned loads for its partial sums.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace hddm::util {
+
+/// Minimal C++17 aligned allocator. Alignment must be a power of two and a
+/// multiple of sizeof(void*).
+template <class T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+  using value_type = T;
+  static constexpr std::size_t alignment = Alignment;
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T)) throw std::bad_alloc();
+    // std::aligned_alloc requires the size to be a multiple of the alignment.
+    const std::size_t bytes = ((n * sizeof(T) + Alignment - 1) / Alignment) * Alignment;
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+/// Vector whose data() is 64-byte aligned — safe for _mm512_load_pd.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace hddm::util

@@ -1,0 +1,36 @@
+// Environment-variable configuration helpers for the benchmark harness.
+//
+// Every benchmark accepts scale knobs through HDDM_* environment variables so
+// the full harness can be run quickly (CI) or at paper scale (see
+// EXPERIMENTS.md) without recompiling.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace hddm::util {
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+inline bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const std::string s(v);
+  return s == "1" || s == "true" || s == "on" || s == "yes";
+}
+
+}  // namespace hddm::util

@@ -1,0 +1,51 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace hddm::util {
+
+namespace {
+
+LogLevel parse_env_level() {
+  const char* v = std::getenv("HDDM_LOG");
+  if (v == nullptr) return LogLevel::Warn;
+  const std::string s(v);
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  if (s == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level{static_cast<int>(parse_env_level())};
+  return level;
+}
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    default: return "?????";
+  }
+}
+
+}  // namespace
+
+LogLevel log_threshold() { return static_cast<LogLevel>(threshold_storage().load()); }
+
+void set_log_threshold(LogLevel level) { threshold_storage().store(static_cast<int>(level)); }
+
+void log_emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[hddm %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace hddm::util

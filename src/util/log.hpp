@@ -1,0 +1,48 @@
+// Minimal leveled logging to stderr.
+//
+// The time-iteration driver and cluster runtime log progress at Info level;
+// set HDDM_LOG=debug|info|warn|error|off to control verbosity at run time.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hddm::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold, initialized once from the HDDM_LOG environment variable.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Thread-safe single-line emission (one write() per message).
+void log_emit(LogLevel level, const std::string& message);
+
+namespace detail {
+template <class... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (static_cast<int>(level) < static_cast<int>(log_threshold())) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_emit(level, oss.str());
+}
+}  // namespace detail
+
+template <class... Args>
+void log_debug(const Args&... args) {
+  detail::log_fmt(LogLevel::Debug, args...);
+}
+template <class... Args>
+void log_info(const Args&... args) {
+  detail::log_fmt(LogLevel::Info, args...);
+}
+template <class... Args>
+void log_warn(const Args&... args) {
+  detail::log_fmt(LogLevel::Warn, args...);
+}
+template <class... Args>
+void log_error(const Args&... args) {
+  detail::log_fmt(LogLevel::Error, args...);
+}
+
+}  // namespace hddm::util

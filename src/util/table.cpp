@@ -1,0 +1,95 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hddm::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    oss << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      oss << ' ' << row[c];
+      oss << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    oss << '\n';
+  };
+  auto emit_rule = [&]() {
+    oss << "+";
+    for (std::size_t c = 0; c < headers_.size(); ++c) oss << std::string(width[c] + 2, '-') << '+';
+    oss << '\n';
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return oss.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) oss << ',';
+      oss << row[c];
+    }
+    oss << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+std::string fmt_double(double value, int significant) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", significant, value);
+  return buf;
+}
+
+std::string fmt_seconds(double seconds) {
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string fmt_count(long long n) {
+  const bool negative = n < 0;
+  unsigned long long magnitude =
+      negative ? static_cast<unsigned long long>(-(n + 1)) + 1ULL : static_cast<unsigned long long>(n);
+  std::string digits = std::to_string(magnitude);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hddm::util

@@ -1,0 +1,43 @@
+// Console table / CSV rendering for the benchmark harness.
+//
+// Every bench binary prints its results both as an aligned console table
+// (mirroring the paper's tables) and, when HDDM_CSV is set, as CSV rows for
+// downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hddm::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders an aligned, boxed console table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders comma-separated values with a header line.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with a fixed number of significant digits.
+std::string fmt_double(double value, int significant = 6);
+
+/// Formats seconds adaptively (s / ms / µs).
+std::string fmt_seconds(double seconds);
+
+/// Formats an integer with thousands separators, matching the paper's style
+/// ("281,077 points").
+std::string fmt_count(long long n);
+
+}  // namespace hddm::util

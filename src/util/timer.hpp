@@ -1,0 +1,47 @@
+// Wall-clock timing utilities used by the benchmark harness and the
+// time-iteration driver's per-phase instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace hddm::util {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+  [[nodiscard]] double microseconds() const { return seconds() * 1e6; }
+
+ private:
+  clock::time_point start_;
+};
+
+/// Accumulates elapsed time into a named bucket on destruction; used to
+/// attribute time-iteration wall time to "solve", "interpolate", "merge", ...
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& bucket) : bucket_(bucket) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { bucket_ += timer_.seconds(); }
+
+ private:
+  double& bucket_;
+  Timer timer_;
+};
+
+}  // namespace hddm::util

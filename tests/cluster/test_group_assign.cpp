@@ -1,0 +1,94 @@
+#include "cluster/group_assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace hddm::cluster {
+namespace {
+
+TEST(GroupAssign, PaperExampleTwoHundredOneHundredThreeRanks) {
+  // Sec. IV-A footnote 5: M = (200, 100), 3 ranks -> groups (2, 1).
+  const auto sizes = proportional_group_sizes({200, 100}, 3);
+  EXPECT_EQ(sizes, (std::vector<int>{2, 1}));
+}
+
+TEST(GroupAssign, SizesAlwaysSumToRanks) {
+  const std::vector<std::vector<std::uint64_t>> workloads = {
+      {1, 1, 1, 1}, {100, 1, 1, 1}, {7, 13, 17, 19}, {0, 5, 0, 5}, {281077, 7081, 119, 1}};
+  for (const auto& w : workloads) {
+    for (const int ranks : {1, 2, 4, 7, 16, 64, 4096}) {
+      const auto sizes = proportional_group_sizes(w, ranks);
+      EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), ranks);
+    }
+  }
+}
+
+TEST(GroupAssign, ProportionalForEqualWorkloads) {
+  const auto sizes = proportional_group_sizes(std::vector<std::uint64_t>(16, 281077), 4096);
+  for (const int s : sizes) EXPECT_EQ(s, 256);
+}
+
+TEST(GroupAssign, HeavierStatesGetMoreRanks) {
+  const auto sizes = proportional_group_sizes({1000, 100, 10}, 100);
+  EXPECT_GT(sizes[0], sizes[1]);
+  EXPECT_GT(sizes[1], sizes[2]);
+}
+
+TEST(GroupAssign, NonEmptyStatesKeepOneRankWhenPossible) {
+  // A tiny state must not starve when ranks >= states.
+  const auto sizes = proportional_group_sizes({1000000, 1, 1, 1}, 4);
+  for (const int s : sizes) EXPECT_GE(s, 1);
+}
+
+TEST(GroupAssign, ZeroTotalWorkloadSpreadsEvenly) {
+  const auto sizes = proportional_group_sizes({0, 0, 0}, 7);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 7);
+  EXPECT_LE(*std::max_element(sizes.begin(), sizes.end()) -
+                *std::min_element(sizes.begin(), sizes.end()),
+            1);
+}
+
+TEST(GroupAssign, BadArgumentsThrow) {
+  EXPECT_THROW((void)proportional_group_sizes({}, 3), std::invalid_argument);
+  EXPECT_THROW((void)proportional_group_sizes({1, 2}, 0), std::invalid_argument);
+}
+
+TEST(GroupAssign, RankColorsAreContiguousBlocks) {
+  const auto colors = rank_colors({2, 1, 3});
+  EXPECT_EQ(colors, (std::vector<int>{0, 0, 1, 2, 2, 2}));
+}
+
+TEST(BlockPartition, CoversRangeWithoutOverlap) {
+  for (const std::uint64_t count : {0ull, 1ull, 7ull, 100ull, 281077ull}) {
+    for (const int parts : {1, 2, 3, 12, 97}) {
+      std::uint64_t covered = 0;
+      std::uint64_t expected_begin = 0;
+      for (int k = 0; k < parts; ++k) {
+        const Range r = block_partition(count, parts, k);
+        EXPECT_EQ(r.begin, expected_begin);
+        expected_begin = r.end;
+        covered += r.size();
+      }
+      EXPECT_EQ(covered, count);
+      EXPECT_EQ(expected_begin, count);
+    }
+  }
+}
+
+TEST(BlockPartition, BalancedWithinOne) {
+  for (int k = 0; k < 12; ++k) {
+    const Range r = block_partition(100, 12, k);
+    EXPECT_GE(r.size(), 8u);
+    EXPECT_LE(r.size(), 9u);
+  }
+}
+
+TEST(BlockPartition, BadArgumentsThrow) {
+  EXPECT_THROW((void)block_partition(10, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)block_partition(10, 3, 3), std::invalid_argument);
+  EXPECT_THROW((void)block_partition(10, 3, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hddm::cluster

@@ -1,0 +1,122 @@
+#include "cluster/scaling_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/node_model.hpp"
+
+namespace hddm::cluster {
+namespace {
+
+ScalingWorkload paper_workload() {
+  // The Fig. 8 test problem: 16 states, level-3 increment 6,962 points per
+  // state and level-4 increment 273,996 points per state (restart from the
+  // 119-point level-2 grid).
+  ScalingWorkload w;
+  w.num_states = 16;
+  w.ndofs = 118;
+  w.points_per_level = {
+      std::vector<std::uint64_t>(16, 6962),
+      std::vector<std::uint64_t>(16, 273996),
+  };
+  return w;
+}
+
+std::vector<int> paper_nodes() { return {1, 4, 16, 64, 256, 1024, 4096}; }
+
+TEST(ScalingModel, TotalTimeDecreasesWithNodes) {
+  const auto results = simulate_strong_scaling(paper_workload(), ScalingMachine{}, paper_nodes());
+  ASSERT_EQ(results.size(), 7u);
+  for (std::size_t k = 1; k < results.size(); ++k)
+    EXPECT_LT(results[k].total_seconds, results[k - 1].total_seconds);
+}
+
+TEST(ScalingModel, EfficiencyNearOneAtFewNodes) {
+  const auto results = simulate_strong_scaling(paper_workload(), ScalingMachine{}, {1, 4, 16});
+  EXPECT_NEAR(results[0].efficiency, 1.0, 1e-12);
+  EXPECT_GT(results[1].efficiency, 0.9);
+  EXPECT_GT(results[2].efficiency, 0.9);
+}
+
+TEST(ScalingModel, PaperShapeSeventyPercentAt4096) {
+  // The paper reports ~70% efficiency at 4,096 nodes; the model should land
+  // in that neighbourhood (the loss is dominated by level-3 thread idling).
+  const auto results =
+      simulate_strong_scaling(paper_workload(), ScalingMachine{}, paper_nodes());
+  const double eff = results.back().efficiency;
+  EXPECT_GT(eff, 0.5);
+  EXPECT_LT(eff, 0.95);
+}
+
+TEST(ScalingModel, CoarseLevelScalesWorseThanFineLevel) {
+  // Level 3 has 6,962 points/state: at 4,096 nodes a state group has ~256
+  // nodes * 12 threads ~ 3,072 workers for ~6,962 points -> ceil effects.
+  // Level 4 with 274k points keeps threads busy. Compare per-level speedups.
+  const auto machine = ScalingMachine{};
+  const auto results = simulate_strong_scaling(paper_workload(), machine, {16, 4096});
+  const auto& small = results[0];
+  const auto& large = results[1];
+  const double speedup_l3 = small.levels[0].total() / large.levels[0].total();
+  const double speedup_l4 = small.levels[1].total() / large.levels[1].total();
+  EXPECT_LT(speedup_l3, speedup_l4);
+  EXPECT_LT(speedup_l4, 4096.0 / 16.0 * 1.05);
+}
+
+TEST(ScalingModel, FewerNodesThanStatesSerializes) {
+  // 4 nodes for 16 states: each node owns 4 states; going 4 -> 16 nodes must
+  // speed up by ~4x.
+  const auto results = simulate_strong_scaling(paper_workload(), ScalingMachine{}, {4, 16});
+  const double speedup = results[0].total_seconds / results[1].total_seconds;
+  EXPECT_NEAR(speedup, 4.0, 0.8);
+}
+
+TEST(ScalingModel, MergeCostGrowsWithGroupSize) {
+  const auto results = simulate_strong_scaling(paper_workload(), ScalingMachine{}, {16, 4096});
+  EXPECT_GE(results[1].levels[0].merge_seconds, results[0].levels[0].merge_seconds);
+}
+
+TEST(ScalingModel, ValidatesShape) {
+  ScalingWorkload w;
+  w.num_states = 4;
+  w.points_per_level = {std::vector<std::uint64_t>(3, 10)};  // wrong width
+  EXPECT_THROW((void)simulate_strong_scaling(w, ScalingMachine{}, {1}), std::invalid_argument);
+  EXPECT_THROW((void)simulate_strong_scaling(ScalingWorkload{}, ScalingMachine{}, {1}),
+               std::invalid_argument);
+  auto ok = paper_workload();
+  EXPECT_THROW((void)simulate_strong_scaling(ok, ScalingMachine{}, {0}), std::invalid_argument);
+}
+
+// --- Node model (Fig. 7) -----------------------------------------------------
+
+TEST(NodeModel, PizDaintHybridNear25x) {
+  const auto speedups = predict_node_speedups(piz_daint_node(), NodeModelInputs{0.95});
+  ASSERT_EQ(speedups.size(), 4u);
+  EXPECT_DOUBLE_EQ(speedups[0].speedup, 1.0);
+  // Paper: 25x for the full hybrid node. Model should land within ~30%.
+  EXPECT_NEAR(speedups.back().speedup, 25.0, 8.0);
+}
+
+TEST(NodeModel, GrandTaveNear96x) {
+  const auto speedups = predict_node_speedups(grand_tave_node(), NodeModelInputs{0.95});
+  // Paper: 96x for multithreaded KNL vs one KNL thread.
+  EXPECT_NEAR(speedups[1].speedup, 96.0, 20.0);
+}
+
+TEST(NodeModel, SpeedupsMonotoneInVariantOrder) {
+  for (const NodeConfig& node : {piz_daint_node(), grand_tave_node()}) {
+    const auto speedups = predict_node_speedups(node, NodeModelInputs{0.9});
+    for (std::size_t k = 1; k < speedups.size(); ++k)
+      EXPECT_GE(speedups[k].speedup, speedups[k - 1].speedup * 0.999) << node.name;
+  }
+}
+
+TEST(NodeModel, AcceleratorOnlyHelpsInterpolationFraction) {
+  // With a tiny interpolation fraction the GPU barely matters.
+  const auto lo = predict_node_speedups(piz_daint_node(), NodeModelInputs{0.1});
+  const auto hi = predict_node_speedups(piz_daint_node(), NodeModelInputs{0.99});
+  const double gain_lo = lo.back().speedup / lo[1].speedup;
+  const double gain_hi = hi.back().speedup / hi[1].speedup;
+  EXPECT_GT(gain_hi, gain_lo);
+}
+
+}  // namespace
+}  // namespace hddm::cluster

@@ -1,0 +1,169 @@
+#include "cluster/sim_comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+namespace hddm::cluster {
+namespace {
+
+TEST(SimComm, RanksSeeCorrectRankAndSize) {
+  std::atomic<int> sum{0};
+  SimCluster::run(5, [&sum](SimComm comm) {
+    EXPECT_EQ(comm.size(), 5);
+    sum.fetch_add(comm.rank());
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(SimComm, SendRecvDeliversPayload) {
+  SimCluster::run(2, [](SimComm comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {1.0, 2.0, 3.0});
+    } else {
+      const auto msg = comm.recv(0, 7);
+      EXPECT_EQ(msg, (std::vector<double>{1.0, 2.0, 3.0}));
+    }
+  });
+}
+
+TEST(SimComm, MessagesWithDifferentTagsDoNotMix) {
+  SimCluster::run(2, [](SimComm comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {1.0});
+      comm.send(1, 2, {2.0});
+    } else {
+      // Receive in reverse tag order.
+      EXPECT_EQ(comm.recv(0, 2), (std::vector<double>{2.0}));
+      EXPECT_EQ(comm.recv(0, 1), (std::vector<double>{1.0}));
+    }
+  });
+}
+
+TEST(SimComm, SameTagPreservesFifoOrder) {
+  SimCluster::run(2, [](SimComm comm) {
+    if (comm.rank() == 0) {
+      for (int k = 0; k < 10; ++k) comm.send(1, 0, {static_cast<double>(k)});
+    } else {
+      for (int k = 0; k < 10; ++k) EXPECT_EQ(comm.recv(0, 0)[0], static_cast<double>(k));
+    }
+  });
+}
+
+TEST(SimComm, BarrierSynchronizesPhases) {
+  std::atomic<int> phase0{0};
+  std::atomic<bool> violated{false};
+  SimCluster::run(4, [&](SimComm comm) {
+    phase0.fetch_add(1);
+    comm.barrier();
+    if (phase0.load() != 4) violated.store(true);
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(SimComm, RepeatedBarriersDoNotDeadlock) {
+  SimCluster::run(3, [](SimComm comm) {
+    for (int k = 0; k < 100; ++k) comm.barrier();
+  });
+}
+
+TEST(SimComm, BcastDistributesRootPayload) {
+  SimCluster::run(4, [](SimComm comm) {
+    std::vector<double> payload;
+    if (comm.rank() == 2) payload = {42.0, 43.0};
+    const auto out = comm.bcast(payload, 2);
+    EXPECT_EQ(out, (std::vector<double>{42.0, 43.0}));
+  });
+}
+
+TEST(SimComm, GathervConcatenatesInRankOrder) {
+  SimCluster::run(3, [](SimComm comm) {
+    const std::vector<double> mine(static_cast<std::size_t>(comm.rank() + 1),
+                                   static_cast<double>(comm.rank()));
+    const auto out = comm.gatherv(mine, 0);
+    if (comm.rank() == 0) {
+      EXPECT_EQ(out, (std::vector<double>{0.0, 1.0, 1.0, 2.0, 2.0, 2.0}));
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST(SimComm, AllgathervOnAllRanks) {
+  SimCluster::run(3, [](SimComm comm) {
+    const std::vector<double> mine{static_cast<double>(comm.rank() * 10)};
+    const auto out = comm.allgatherv(mine);
+    EXPECT_EQ(out, (std::vector<double>{0.0, 10.0, 20.0}));
+  });
+}
+
+TEST(SimComm, Reductions) {
+  SimCluster::run(4, [](SimComm comm) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(static_cast<double>(comm.rank())), 6.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(comm.rank() % 3)), 2.0);
+  });
+}
+
+TEST(SimComm, SplitFormsGroupsWithLocalRanks) {
+  // 6 ranks, color = rank % 2 -> two groups of 3 with ranks 0..2.
+  SimCluster::run(6, [](SimComm comm) {
+    const int color = comm.rank() % 2;
+    SimComm group = comm.split(color, comm.rank());
+    EXPECT_EQ(group.size(), 3);
+    EXPECT_EQ(group.rank(), comm.rank() / 2);
+
+    // Group-local collectives stay inside the group.
+    const double sum = group.allreduce_sum(1.0);
+    EXPECT_DOUBLE_EQ(sum, 3.0);
+  });
+}
+
+TEST(SimComm, SplitRespectsKeyOrdering) {
+  SimCluster::run(4, [](SimComm comm) {
+    // All ranks same color; key reverses the order.
+    SimComm group = comm.split(0, -comm.rank());
+    EXPECT_EQ(group.rank(), comm.size() - 1 - comm.rank());
+  });
+}
+
+TEST(SimComm, ConsecutiveSplitsWork) {
+  SimCluster::run(4, [](SimComm comm) {
+    SimComm a = comm.split(comm.rank() / 2, comm.rank());
+    EXPECT_EQ(a.size(), 2);
+    SimComm b = comm.split(comm.rank() % 2, comm.rank());
+    EXPECT_EQ(b.size(), 2);
+    // Nested split of a sub-communicator.
+    SimComm c = a.split(a.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+  });
+}
+
+TEST(SimComm, ExceptionInRankPropagates) {
+  EXPECT_THROW(SimCluster::run(2,
+                               [](SimComm comm) {
+                                 if (comm.rank() == 1) throw std::runtime_error("rank fail");
+                               }),
+               std::runtime_error);
+}
+
+TEST(SimComm, SingleRankWorldWorks) {
+  SimCluster::run(1, [](SimComm comm) {
+    comm.barrier();
+    EXPECT_EQ(comm.allgatherv(std::vector<double>{5.0}), (std::vector<double>{5.0}));
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(3.0), 3.0);
+  });
+}
+
+TEST(SimComm, BadRankArgumentsThrow) {
+  SimCluster::run(2, [](SimComm comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send(5, 0, {}), std::invalid_argument);
+      EXPECT_THROW((void)comm.recv(-1, 0), std::invalid_argument);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace hddm::cluster

@@ -1,0 +1,99 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sparse_grid/regular.hpp"
+#include "util/rng.hpp"
+
+namespace hddm::core {
+namespace {
+
+std::shared_ptr<AsgPolicy> tiny_policy() {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  util::Rng rng(4);
+  for (int z = 0; z < 2; ++z) {
+    sg::GridStorage storage(2);
+    sg::build_regular_grid(storage, 2);
+    std::vector<double> surpluses(static_cast<std::size_t>(storage.size()) * 3);
+    for (auto& s : surpluses) s = rng.uniform(-1, 1);
+    grids.push_back(
+        std::make_unique<ShockGrid>(storage, 3, surpluses, kernels::KernelKind::X86));
+  }
+  return std::make_shared<AsgPolicy>(3, std::move(grids));
+}
+
+int count_lines(const std::string& s) {
+  int n = 0;
+  for (const char c : s) n += (c == '\n');
+  return n;
+}
+
+TEST(ExportGrid, OneRowPerPointPlusHeader) {
+  const auto policy = tiny_policy();
+  std::stringstream out;
+  export_grid_csv(*policy, 0, out);
+  EXPECT_EQ(count_lines(out.str()), 1 + 5);  // header + 5 level-2 points
+  EXPECT_NE(out.str().find("l0,i0,l1,i1,x0,x1,a0,a1,a2"), std::string::npos);
+}
+
+TEST(ExportGrid, CoordinatesMatchPairs) {
+  const auto policy = tiny_policy();
+  std::stringstream out;
+  export_grid_csv(*policy, 1, out);
+  std::string line;
+  std::getline(out, line);  // header
+  std::getline(out, line);  // root point
+  // Root: l=1,i=1 in both dims, x = (0.5, 0.5).
+  EXPECT_NE(line.find("1,1,1,1,0.5,0.5"), std::string::npos) << line;
+}
+
+TEST(ExportSlice, SamplesAlongAxis) {
+  const auto policy = tiny_policy();
+  std::stringstream out;
+  export_policy_slice_csv(*policy, 0, 0, {0.0, 0.5}, 11, out);
+  EXPECT_EQ(count_lines(out.str()), 1 + 11);
+  // First sample at x = 0, last at x = 1.
+  EXPECT_NE(out.str().find("\n0,"), std::string::npos);
+  EXPECT_NE(out.str().find("\n1,"), std::string::npos);
+}
+
+TEST(ExportSlice, ValidatesArguments) {
+  const auto policy = tiny_policy();
+  std::stringstream out;
+  EXPECT_THROW(export_policy_slice_csv(*policy, 0, 5, {0.5, 0.5}, 10, out),
+               std::invalid_argument);
+  EXPECT_THROW(export_policy_slice_csv(*policy, 0, 0, {0.5, 0.5}, 1, out),
+               std::invalid_argument);
+}
+
+TEST(ExportHistory, RendersAllIterations) {
+  std::vector<IterationStats> history(3);
+  for (int it = 0; it < 3; ++it) {
+    history[static_cast<std::size_t>(it)].iteration = it;
+    history[static_cast<std::size_t>(it)].policy_change_linf = 0.1 / (it + 1);
+    history[static_cast<std::size_t>(it)].total_points = 100u * (it + 1);
+  }
+  std::stringstream out;
+  export_history_csv(history, out);
+  EXPECT_EQ(count_lines(out.str()), 1 + 3);
+  EXPECT_NE(out.str().find("policy_change_linf"), std::string::npos);
+  EXPECT_NE(out.str().find("300"), std::string::npos);
+}
+
+TEST(ExportHistory, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hddm_history.csv";
+  export_history_csv({}, path);
+  std::ifstream check(path);
+  EXPECT_TRUE(check.good());
+  std::string header;
+  std::getline(check, header);
+  EXPECT_NE(header.find("iteration"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hddm::core

@@ -1,0 +1,151 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse_grid/hierarchize.hpp"
+#include "sparse_grid/regular.hpp"
+#include "util/rng.hpp"
+
+namespace hddm::core {
+namespace {
+
+std::unique_ptr<ShockGrid> make_shock_grid(int d, int level, int ndofs, std::uint64_t seed,
+                                           kernels::KernelKind kind = kernels::KernelKind::X86) {
+  sg::GridStorage storage(d);
+  sg::build_regular_grid(storage, level);
+  util::Rng rng(seed);
+  std::vector<double> surpluses(static_cast<std::size_t>(storage.size()) * ndofs);
+  for (auto& s : surpluses) s = rng.uniform(-1, 1);
+  return std::make_unique<ShockGrid>(storage, ndofs, surpluses, kind);
+}
+
+TEST(ShockGrid, ExposesBothFormats) {
+  const auto grid = make_shock_grid(3, 3, 4, 1);
+  EXPECT_EQ(grid->dense().nno, grid->compressed().nno);
+  EXPECT_EQ(grid->num_points(), grid->dense().nno);
+  EXPECT_EQ(grid->ndofs(), 4);
+}
+
+TEST(ShockGrid, EvaluateMatchesKernel) {
+  const auto grid = make_shock_grid(2, 3, 3, 2);
+  util::Rng rng(5);
+  const std::vector<double> x = rng.uniform_point(2);
+  std::vector<double> a(3), b(3);
+  grid->evaluate(x, a);
+  grid->kernel().evaluate(x.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(AsgPolicy, RoutesToTheRightShock) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(2, 2, 2, 10));
+  grids.push_back(make_shock_grid(2, 3, 2, 20));
+  const AsgPolicy policy(2, std::move(grids));
+
+  EXPECT_EQ(policy.num_shocks(), 2);
+  const std::vector<double> x{0.3, 0.6};
+  std::vector<double> v0(2), v1(2), direct(2);
+  policy.evaluate(0, x, v0);
+  policy.evaluate(1, x, v1);
+  policy.grid(0).evaluate(x, direct);
+  EXPECT_EQ(v0, direct);
+  policy.grid(1).evaluate(x, direct);
+  EXPECT_EQ(v1, direct);
+  EXPECT_NE(v0, v1);  // different grids, different random surpluses
+}
+
+TEST(AsgPolicy, TotalPointsSumsShocks) {
+  const auto n2 = static_cast<std::uint32_t>(sg::count_regular_points(2, 2));  // 5
+  const auto n3 = static_cast<std::uint32_t>(sg::count_regular_points(2, 3));  // 13
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(2, 2, 1, 1));
+  grids.push_back(make_shock_grid(2, 3, 1, 2));
+  const AsgPolicy policy(1, std::move(grids));
+  EXPECT_EQ(policy.total_points(), n2 + n3);
+  const auto per = policy.points_per_shock();
+  EXPECT_EQ(per[0], n2);
+  EXPECT_EQ(per[1], n3);
+}
+
+TEST(AsgPolicy, RejectsInconsistentGrids) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(2, 2, 1, 1));
+  grids.push_back(make_shock_grid(2, 2, 3, 2));  // different ndofs
+  EXPECT_THROW(AsgPolicy(1, std::move(grids)), std::invalid_argument);
+  std::vector<std::unique_ptr<ShockGrid>> empty;
+  EXPECT_THROW(AsgPolicy(1, std::move(empty)), std::invalid_argument);
+}
+
+TEST(AsgPolicy, DeviceOffloadGivesIdenticalValues) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(3, 3, 4, 31));
+  grids.push_back(make_shock_grid(3, 3, 4, 32));
+  AsgPolicy policy(4, std::move(grids));
+
+  // Reference values before attaching the device.
+  util::Rng rng(9);
+  std::vector<std::vector<double>> xs;
+  std::vector<std::vector<double>> expected;
+  for (int k = 0; k < 20; ++k) {
+    xs.push_back(rng.uniform_point(3));
+    std::vector<double> v(4);
+    policy.evaluate(k % 2, xs.back(), v);
+    expected.push_back(v);
+  }
+
+  std::vector<std::unique_ptr<kernels::InterpolationKernel>> dev;
+  for (int z = 0; z < 2; ++z)
+    dev.push_back(kernels::make_kernel(kernels::KernelKind::SimGpu, &policy.grid(z).dense(),
+                                       &policy.grid(z).compressed()));
+  policy.attach_device(std::move(dev), 4);
+
+  for (int k = 0; k < 20; ++k) {
+    std::vector<double> v(4);
+    policy.evaluate(k % 2, xs[static_cast<std::size_t>(k)], v);
+    for (int dof = 0; dof < 4; ++dof)
+      EXPECT_NEAR(v[dof], expected[static_cast<std::size_t>(k)][dof], 1e-12);
+  }
+  // With an idle queue every request should have been offloaded.
+  EXPECT_GT(policy.device_offloaded(), 0u);
+}
+
+TEST(InitialPolicyEvaluatorTest, DelegatesToModel) {
+  // Minimal model stub.
+  class Stub final : public DynamicModel {
+   public:
+    Stub() : box_({0.0, 0.0}, {1.0, 1.0}) {}
+    [[nodiscard]] int state_dim() const override { return 2; }
+    [[nodiscard]] int num_shocks() const override { return 3; }
+    [[nodiscard]] int ndofs() const override { return 2; }
+    [[nodiscard]] const sg::BoxDomain& domain() const override { return box_; }
+    [[nodiscard]] std::vector<double> initial_policy(int z,
+                                                     std::span<const double> x) const override {
+      return {static_cast<double>(z), x[0] + x[1]};
+    }
+    [[nodiscard]] PointSolveResult solve_point(int, std::span<const double>,
+                                               const PolicyEvaluator&,
+                                               std::span<const double>) const override {
+      return {};
+    }
+    [[nodiscard]] double equilibrium_residual(int, std::span<const double>,
+                                              const PolicyEvaluator&) const override {
+      return 0.0;
+    }
+
+   private:
+    sg::BoxDomain box_;
+  } model;
+
+  const InitialPolicyEvaluator eval(model);
+  EXPECT_EQ(eval.num_shocks(), 3);
+  EXPECT_EQ(eval.ndofs(), 2);
+  std::vector<double> out(2);
+  eval.evaluate(2, std::vector<double>{0.25, 0.5}, out);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.75);
+}
+
+}  // namespace
+}  // namespace hddm::core

@@ -1,0 +1,204 @@
+#include "irbc/irbc_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/time_iteration.hpp"
+
+namespace hddm::irbc {
+namespace {
+
+TEST(IrbcModel, DimensionsFollowCountries) {
+  IrbcCalibration cal;
+  cal.countries = 4;
+  const IrbcModel m(cal);
+  EXPECT_EQ(m.state_dim(), 4);
+  EXPECT_EQ(m.ndofs(), 4);
+  EXPECT_EQ(m.num_shocks(), 16);  // 2^4 sign patterns
+  EXPECT_EQ(m.domain().dim(), 4);
+}
+
+TEST(IrbcModel, ShockBitsCapped) {
+  IrbcCalibration cal;
+  cal.countries = 8;
+  cal.max_shock_bits = 3;
+  const IrbcModel m(cal);
+  EXPECT_EQ(m.num_shocks(), 8);
+  // Countries beyond the bit budget share the last bit.
+  EXPECT_DOUBLE_EQ(m.productivity(5, 2), m.productivity(5, 7));
+}
+
+TEST(IrbcModel, ProductivityPatternsCoverBoomsAndBusts) {
+  IrbcCalibration cal;
+  cal.countries = 2;
+  const IrbcModel m(cal);
+  // State 0: all busts; state 3 (binary 11): all booms.
+  EXPECT_LT(m.productivity(0, 0), 1.0);
+  EXPECT_LT(m.productivity(0, 1), 1.0);
+  EXPECT_GT(m.productivity(3, 0), 1.0);
+  EXPECT_GT(m.productivity(3, 1), 1.0);
+  // State 1: country 0 booms, country 1 busts.
+  EXPECT_GT(m.productivity(1, 0), 1.0);
+  EXPECT_LT(m.productivity(1, 1), 1.0);
+}
+
+TEST(IrbcModel, TfpNormalizationPutsSteadyStateAtOne) {
+  IrbcCalibration cal;
+  const IrbcModel m(cal);
+  // At k = 1, a = 1: theta A k^(theta-1) + 1 - delta == 1/beta.
+  const double gross = cal.theta * m.tfp_scale() + 1.0 - cal.delta;
+  EXPECT_NEAR(gross, 1.0 / cal.beta, 1e-12);
+}
+
+TEST(IrbcModel, ConsumptionAtSteadyStateIsProductionMinusDepreciation) {
+  IrbcCalibration cal;
+  cal.countries = 3;
+  cal.sigma = 0.0;  // no productivity dispersion
+  const IrbcModel m(cal);
+  const std::vector<double> k(3, 1.0);
+  const double c = m.consumption(0, k, k);  // k' = k: no adjustment costs
+  EXPECT_NEAR(c, m.tfp_scale() - cal.delta, 1e-12);
+}
+
+TEST(IrbcModel, SteadyStateIsEulerFixedPointWithoutRisk) {
+  // sigma = 0: the identity policy at k = 1 must solve the Euler equations.
+  IrbcCalibration cal;
+  cal.countries = 3;
+  cal.sigma = 0.0;
+  const IrbcModel m(cal);
+
+  const core::InitialPolicyEvaluator pnext(m);  // identity policy
+  const std::vector<double> k(3, 1.0);
+  std::vector<double> res(3);
+  m.euler_residuals(0, k, k, pnext, res);
+  for (const double r : res) EXPECT_NEAR(r, 0.0, 1e-10);
+}
+
+TEST(IrbcModel, SolvePointRecoversSteadyState) {
+  IrbcCalibration cal;
+  cal.countries = 3;
+  cal.sigma = 0.0;
+  const IrbcModel m(cal);
+  const core::InitialPolicyEvaluator pnext(m);
+
+  const std::vector<double> x_unit(3, 0.5);  // k = 1 (box center)
+  std::vector<double> warm(3);
+  pnext.evaluate(0, x_unit, warm);
+  const auto res = m.solve_point(0, x_unit, pnext, warm);
+  ASSERT_TRUE(res.converged);
+  for (const double kj : res.dofs) EXPECT_NEAR(kj, 1.0, 1e-7);
+}
+
+TEST(IrbcModel, RichCountriesRunDownCapital) {
+  // Away from the steady state the planner smooths: k' moves toward 1.
+  IrbcCalibration cal;
+  cal.countries = 2;
+  cal.sigma = 0.0;
+  const IrbcModel m(cal);
+  const core::InitialPolicyEvaluator pnext(m);
+
+  std::vector<double> x_unit{1.0, 0.0};  // country 0 rich (k=1.2), 1 poor (0.8)
+  std::vector<double> warm(2);
+  pnext.evaluate(0, x_unit, warm);
+  const auto res = m.solve_point(0, x_unit, pnext, warm);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(res.dofs[0], 1.2);  // rich disinvests toward 1
+  EXPECT_GT(res.dofs[1], 0.8);  // poor invests toward 1
+}
+
+TEST(IrbcModel, BoomRaisesInvestment) {
+  IrbcCalibration cal;
+  cal.countries = 2;
+  cal.sigma = 0.05;
+  const IrbcModel m(cal);
+  const core::InitialPolicyEvaluator pnext(m);
+  const std::vector<double> x_unit(2, 0.5);
+  std::vector<double> warm(2);
+  pnext.evaluate(0, x_unit, warm);
+
+  const auto bust = m.solve_point(0, x_unit, pnext, warm);   // state 0: both bust
+  const auto boom = m.solve_point(3, x_unit, pnext, warm);   // state 3: both boom
+  ASSERT_TRUE(bust.converged);
+  ASSERT_TRUE(boom.converged);
+  EXPECT_GT(boom.dofs[0], bust.dofs[0]);
+  EXPECT_GT(boom.dofs[1], bust.dofs[1]);
+}
+
+TEST(IrbcModel, TimeIterationConverges) {
+  IrbcCalibration cal;
+  cal.countries = 3;
+  cal.max_shock_bits = 2;  // 4 shocks
+  const IrbcModel m(cal);
+
+  core::TimeIterationOptions opts;
+  opts.base_level = 2;
+  opts.max_iterations = 120;
+  opts.tolerance = 1e-5;
+  const auto result = core::solve_time_iteration(m, opts);
+  EXPECT_TRUE(result.converged) << "final change " << result.final_change;
+  EXPECT_EQ(result.policy->num_shocks(), 4);
+
+  // The converged policy is near-identity at the box center (symmetric risk
+  // shifts it only slightly).
+  std::vector<double> k_next(3);
+  result.policy->evaluate(0, std::vector<double>(3, 0.5), k_next);
+  for (const double kj : k_next) EXPECT_NEAR(kj, 1.0, 0.05);
+}
+
+TEST(IrbcModel, SymmetricStatesGiveSymmetricPolicies) {
+  IrbcCalibration cal;
+  cal.countries = 2;
+  cal.max_shock_bits = 2;
+  const IrbcModel m(cal);
+  core::TimeIterationOptions opts;
+  opts.base_level = 3;
+  opts.max_iterations = 80;
+  opts.tolerance = 1e-5;
+  const auto result = core::solve_time_iteration(m, opts);
+  ASSERT_TRUE(result.converged);
+
+  // Swapping the countries AND the shock pattern must swap the policy:
+  // p(z=01, (ka, kb)) reversed == p(z=10, (kb, ka)).
+  std::vector<double> a(2), b(2);
+  const std::vector<double> x{0.3, 0.7}, x_swapped{0.7, 0.3};
+  result.policy->evaluate(1, x, a);          // binary 01
+  result.policy->evaluate(2, x_swapped, b);  // binary 10
+  EXPECT_NEAR(a[0], b[1], 1e-6);
+  EXPECT_NEAR(a[1], b[0], 1e-6);
+}
+
+TEST(IrbcModel, EquilibriumResidualSmallAfterConvergence) {
+  IrbcCalibration cal;
+  cal.countries = 2;
+  cal.max_shock_bits = 1;
+  cal.beta = 0.9;  // time iteration contracts at ~beta per step; 0.99 would
+                   // need >1000 iterations to reach 1e-6
+  const IrbcModel m(cal);
+  core::TimeIterationOptions opts;
+  opts.base_level = 3;
+  opts.max_iterations = 150;
+  opts.tolerance = 1e-6;
+  const auto result = core::solve_time_iteration(m, opts);
+  ASSERT_TRUE(result.converged);
+  // Interior residuals at off-grid points stay small (smooth model, no
+  // kinks): a much tighter check than the OLG path errors.
+  for (const std::vector<double>& x : {std::vector<double>{0.4, 0.6}, {0.52, 0.48}, {0.3, 0.3}}) {
+    EXPECT_LT(m.equilibrium_residual(0, x, *result.policy), 5e-3);
+  }
+}
+
+TEST(IrbcModel, RejectsBadCalibrations) {
+  IrbcCalibration cal;
+  cal.countries = 0;
+  EXPECT_THROW(IrbcModel{cal}, std::invalid_argument);
+  cal = IrbcCalibration{};
+  cal.beta = 1.5;
+  EXPECT_THROW(IrbcModel{cal}, std::invalid_argument);
+  cal = IrbcCalibration{};
+  cal.theta = 0.0;
+  EXPECT_THROW(IrbcModel{cal}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hddm::irbc

@@ -1,0 +1,123 @@
+#include "simgpu/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "simgpu/perf_model.hpp"
+
+namespace hddm::simgpu {
+namespace {
+
+TEST(SimGpuDevice, LaunchRunsEveryThreadOfEveryBlock) {
+  Device dev;
+  std::vector<int> counts(4 * 8, 0);
+  dev.launch(4, 8, 0,
+             {[&counts](const ThreadCtx& ctx) {
+               counts[ctx.block_idx * ctx.block_dim + ctx.thread_idx] += 1;
+             }});
+  for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(SimGpuDevice, PhasesAreBarrierOrdered) {
+  // Phase 1 reads what phase 0 wrote into shared memory — any thread of the
+  // block must observe all phase-0 writes (the __syncthreads semantics).
+  Device dev;
+  std::vector<int> ok(2, 0);
+  dev.launch(2, 16, 16 * sizeof(double),
+             {
+                 [](const ThreadCtx& ctx) {
+                   auto* shared = reinterpret_cast<double*>(ctx.shared);
+                   shared[ctx.thread_idx] = static_cast<double>(ctx.thread_idx);
+                 },
+                 [&ok](const ThreadCtx& ctx) {
+                   if (ctx.thread_idx != 0) return;
+                   const auto* shared = reinterpret_cast<const double*>(ctx.shared);
+                   bool all = true;
+                   for (unsigned t = 0; t < ctx.block_dim; ++t)
+                     all = all && shared[t] == static_cast<double>(t);
+                   ok[ctx.block_idx] = all ? 1 : 0;
+                 },
+             });
+  EXPECT_EQ(ok[0], 1);
+  EXPECT_EQ(ok[1], 1);
+}
+
+TEST(SimGpuDevice, SharedMemoryZeroedPerBlock) {
+  Device dev;
+  std::vector<int> saw_dirty(3, 0);
+  dev.launch(3, 4, 8,
+             {
+                 [&saw_dirty](const ThreadCtx& ctx) {
+                   if (ctx.thread_idx == 0) {
+                     for (std::size_t b = 0; b < ctx.shared_bytes; ++b)
+                       if (ctx.shared[b] != std::byte{0}) saw_dirty[ctx.block_idx] = 1;
+                     ctx.shared[0] = std::byte{0xFF};  // dirty it for the next block
+                   }
+                 },
+             });
+  for (const int d : saw_dirty) EXPECT_EQ(d, 0);
+}
+
+TEST(SimGpuDevice, RejectsOversizedSharedMemory) {
+  Device dev;
+  const std::size_t too_much = dev.properties().shared_mem_per_block + 1;
+  EXPECT_THROW(dev.launch(1, 1, too_much, {[](const ThreadCtx&) {}}), std::invalid_argument);
+}
+
+TEST(SimGpuDevice, RejectsEmptyLaunch) {
+  Device dev;
+  EXPECT_THROW(dev.launch(0, 32, 0, {}), std::invalid_argument);
+  EXPECT_THROW(dev.launch(1, 0, 0, {}), std::invalid_argument);
+}
+
+TEST(SimGpuDevice, StatsAccumulate) {
+  Device dev;
+  dev.launch(5, 4, 0, {[](const ThreadCtx&) {}, [](const ThreadCtx&) {}});
+  EXPECT_EQ(dev.stats().launches, 1u);
+  EXPECT_EQ(dev.stats().blocks, 5u);
+  EXPECT_EQ(dev.stats().thread_invocations, 5u * 4u * 2u);
+  dev.reset_stats();
+  EXPECT_EQ(dev.stats().launches, 0u);
+}
+
+TEST(SimGpuDevice, SingleWaveBlocksMatchesP100Occupancy) {
+  // P100: 56 SMs, 2048 threads/SM; block of 128 -> 16 blocks/SM -> 896.
+  Device dev;
+  EXPECT_EQ(dev.single_wave_blocks(128), 896u);
+  EXPECT_EQ(dev.single_wave_blocks(1024), 2u * 56u);
+}
+
+TEST(PerfModel, MemoryBoundForPaperShapes) {
+  // The "300k" kernel is memory-bound on the P100: surplus traffic dominates.
+  const DeviceProperties props;
+  KernelWorkload w;
+  w.nno = 281077;
+  w.ndofs = 118;
+  w.nfreq = 3;
+  w.xps = 473;
+  w.active_fraction = 0.05;
+  const KernelEstimate e = estimate_interpolation(props, w);
+  EXPECT_GT(e.memory_seconds, e.compute_seconds);
+  // Same order of magnitude as the paper's measured 275 us (Table II).
+  EXPECT_GT(e.total_seconds(), 1e-6);
+  EXPECT_LT(e.total_seconds(), 5e-3);
+}
+
+TEST(PerfModel, TimeGrowsWithActiveFraction) {
+  const DeviceProperties props;
+  KernelWorkload w;
+  w.nno = 100000;
+  w.ndofs = 118;
+  w.nfreq = 3;
+  w.xps = 473;
+  w.active_fraction = 0.01;
+  const double t_small = estimate_interpolation(props, w).total_seconds();
+  w.active_fraction = 1.0;
+  const double t_large = estimate_interpolation(props, w).total_seconds();
+  EXPECT_GT(t_large, t_small);
+}
+
+}  // namespace
+}  // namespace hddm::simgpu

@@ -1,0 +1,162 @@
+#include "olg/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "olg/preferences.hpp"
+#include "olg/technology.hpp"
+
+namespace hddm::olg {
+namespace {
+
+TEST(Calibration, PaperConfigurationShape) {
+  const OlgEconomy econ = build_economy(paper_calibration());
+  EXPECT_EQ(econ.ages(), 60);
+  EXPECT_EQ(econ.num_shocks(), 16u);  // 4 productivity x 4 tax regimes
+  EXPECT_EQ(econ.chain.size(), 16u);
+  // d = A-1 = 59 continuous dimensions; ndofs = 2d = 118 handled by the model.
+  EXPECT_EQ(econ.ages() - 1, 59);
+}
+
+TEST(Calibration, AnnualModelUsesAnnualParameters) {
+  const OlgEconomy econ = build_economy(paper_calibration());
+  EXPECT_NEAR(econ.beta, 0.97, 1e-12);  // period = 1 year
+  EXPECT_EQ(econ.retirement_index, 46); // retire at 65 = 46th adult year
+  EXPECT_EQ(econ.retirees(), 14);
+}
+
+TEST(Calibration, ReducedModelCompoundsPeriods) {
+  // A=6 -> 10-year periods: beta = 0.97^10.
+  const OlgEconomy econ = build_economy(reduced_calibration(6));
+  EXPECT_NEAR(econ.beta, std::pow(0.97, 10.0), 1e-12);
+  EXPECT_EQ(econ.num_shocks(), 4u);
+}
+
+TEST(Calibration, EfficiencyZeroAfterRetirement) {
+  const OlgEconomy econ = build_economy(paper_calibration());
+  for (int a = 1; a <= econ.ages(); ++a) {
+    if (a > econ.retirement_index)
+      EXPECT_DOUBLE_EQ(econ.efficiency[a - 1], 0.0) << "age " << a;
+    else
+      EXPECT_GT(econ.efficiency[a - 1], 0.0) << "age " << a;
+  }
+}
+
+TEST(Calibration, EfficiencyIsHumpShaped) {
+  const OlgEconomy econ = build_economy(paper_calibration());
+  const auto& e = econ.efficiency;
+  // Peak strictly inside the working life.
+  int peak = 0;
+  for (int a = 1; a < econ.retirement_index; ++a)
+    if (e[a] > e[peak]) peak = a;
+  EXPECT_GT(peak, 5);
+  EXPECT_LT(peak, econ.retirement_index - 1);
+  EXPECT_GT(e[peak], e[0]);
+  EXPECT_GT(e[peak], e[econ.retirement_index - 1]);
+}
+
+TEST(Calibration, ShockGridCoversTaxRegimes) {
+  const OlgEconomy econ = build_economy(paper_calibration());
+  bool low_l = false, high_l = false, low_c = false, high_c = false;
+  for (const auto& s : econ.shocks) {
+    low_l |= s.tau_labor == econ.cal.tau_labor_low;
+    high_l |= s.tau_labor == econ.cal.tau_labor_high;
+    low_c |= s.tau_capital == econ.cal.tau_capital_low;
+    high_c |= s.tau_capital == econ.cal.tau_capital_high;
+  }
+  EXPECT_TRUE(low_l && high_l && low_c && high_c);
+}
+
+TEST(Calibration, ProductivitySpansBoomAndBust) {
+  const OlgEconomy econ = build_economy(paper_calibration());
+  double min_eta = 1e9, max_eta = -1e9;
+  for (const auto& s : econ.shocks) {
+    min_eta = std::min(min_eta, s.eta);
+    max_eta = std::max(max_eta, s.eta);
+  }
+  EXPECT_LT(min_eta, 1.0);
+  EXPECT_GT(max_eta, 1.0);
+  // Busts depreciate faster than booms.
+  EXPECT_GT(econ.shocks.front().delta, econ.shocks.back().delta);
+}
+
+TEST(Calibration, PensionBudgetBalances) {
+  // pension * retirees == tau_l * w * L (pay-as-you-go, Sec. II).
+  const OlgEconomy econ = build_economy(paper_calibration());
+  const double w = 1.7;
+  const double total = econ.pension(w, 0.3) * econ.retirees();
+  EXPECT_NEAR(total, 0.3 * w * econ.total_labor, 1e-10);
+}
+
+TEST(Calibration, RejectsBadInputs) {
+  OlgCalibration cal = reduced_calibration(2);
+  EXPECT_THROW((void)build_economy(cal), std::invalid_argument);
+  cal = paper_calibration();
+  cal.retirement_age_fraction = 0.0;
+  EXPECT_THROW((void)build_economy(cal), std::invalid_argument);
+}
+
+TEST(Preferences, MarginalUtilityDecreasing) {
+  const CrraPreferences prefs(2.0);
+  EXPECT_GT(prefs.marginal_utility(0.5), prefs.marginal_utility(1.0));
+  EXPECT_GT(prefs.marginal_utility(1.0), prefs.marginal_utility(2.0));
+}
+
+TEST(Preferences, CrraFunctionalForm) {
+  const CrraPreferences prefs(2.0);
+  EXPECT_NEAR(prefs.marginal_utility(2.0), std::pow(2.0, -2.0), 1e-14);
+  EXPECT_NEAR(prefs.utility(2.0), (std::pow(2.0, -1.0) - 1.0) / (-1.0), 1e-14);
+  EXPECT_NEAR(prefs.inverse_marginal(prefs.marginal_utility(1.7)), 1.7, 1e-12);
+}
+
+TEST(Preferences, LogUtilityAtGammaOne) {
+  const CrraPreferences prefs(1.0);
+  EXPECT_NEAR(prefs.utility(std::exp(1.0)), 1.0, 1e-12);
+  EXPECT_NEAR(prefs.marginal_utility(4.0), 0.25, 1e-14);
+}
+
+TEST(Preferences, SafeExtensionIsContinuousAndMonotone) {
+  const CrraPreferences prefs(2.0, 1e-4);
+  const double at_floor = prefs.marginal_utility(1e-4);
+  const double below = prefs.marginal_utility(1e-4 - 1e-9);
+  EXPECT_NEAR(at_floor, below, at_floor * 1e-3);
+  // Still decreasing in c below the floor (i.e., increasing as c falls).
+  EXPECT_GT(prefs.marginal_utility(-0.5), prefs.marginal_utility(0.0));
+  EXPECT_GT(prefs.marginal_utility(0.0), at_floor);
+  // No NaNs for pathological consumption.
+  EXPECT_TRUE(std::isfinite(prefs.utility(-10.0)));
+  EXPECT_TRUE(std::isfinite(prefs.marginal_utility(-10.0)));
+}
+
+TEST(Technology, PricesMatchClosedForms) {
+  const CobbDouglasTechnology tech(0.3);
+  const FactorPrices p = tech.prices(8.0, 2.0, 1.1, 0.05);
+  EXPECT_NEAR(p.wage, 0.7 * 1.1 * std::pow(4.0, 0.3), 1e-12);
+  EXPECT_NEAR(p.rate, 0.3 * 1.1 * std::pow(4.0, -0.7) - 0.05, 1e-12);
+  EXPECT_NEAR(p.output, 1.1 * std::pow(8.0, 0.3) * std::pow(2.0, 0.7), 1e-12);
+}
+
+TEST(Technology, EulerTheoremOutputExhausted) {
+  // w L + (r + delta) K = Y under constant returns.
+  const CobbDouglasTechnology tech(0.36);
+  const FactorPrices p = tech.prices(5.0, 1.3, 0.9, 0.07);
+  EXPECT_NEAR(p.wage * 1.3 + (p.rate + 0.07) * 5.0, p.output, 1e-10);
+}
+
+TEST(Technology, GoldenCapitalEquatesReturnToDiscounting) {
+  const CobbDouglasTechnology tech(0.3);
+  const double beta = 0.96, delta = 0.06;
+  const double K = tech.golden_capital(1.5, 1.0, delta, beta);
+  const FactorPrices p = tech.prices(K, 1.5, 1.0, delta);
+  EXPECT_NEAR(1.0 + p.rate, 1.0 / beta, 1e-10);
+}
+
+TEST(Technology, RejectsBadFactors) {
+  const CobbDouglasTechnology tech(0.3);
+  EXPECT_THROW((void)tech.prices(0.0, 1.0, 1.0, 0.05), std::invalid_argument);
+  EXPECT_THROW(CobbDouglasTechnology(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hddm::olg

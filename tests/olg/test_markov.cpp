@@ -1,0 +1,124 @@
+#include "olg/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hddm::olg {
+namespace {
+
+TEST(Markov, ValidatesRowSums) {
+  EXPECT_THROW(MarkovChain(2, {0.5, 0.4, 0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(MarkovChain(2, {1.2, -0.2, 0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(MarkovChain(2, {1.0, 0.0, 0.0}), std::invalid_argument);
+  EXPECT_NO_THROW(MarkovChain(2, {0.9, 0.1, 0.3, 0.7}));
+}
+
+TEST(Markov, StationaryOfSymmetricChainIsUniform) {
+  const MarkovChain chain(3, {0.8, 0.1, 0.1, 0.1, 0.8, 0.1, 0.1, 0.1, 0.8});
+  const auto pi = chain.stationary_distribution();
+  for (const double p : pi) EXPECT_NEAR(p, 1.0 / 3.0, 1e-10);
+}
+
+TEST(Markov, StationaryOfAsymmetricTwoState) {
+  // pi solves pi = pi P: detailed balance gives pi0/pi1 = p10/p01.
+  const MarkovChain chain(2, {0.9, 0.1, 0.3, 0.7});
+  const auto pi = chain.stationary_distribution();
+  EXPECT_NEAR(pi[0], 0.75, 1e-10);
+  EXPECT_NEAR(pi[1], 0.25, 1e-10);
+}
+
+TEST(Markov, SimulateVisitsStatesWithStationaryFrequency) {
+  const MarkovChain chain(2, {0.9, 0.1, 0.3, 0.7});
+  util::Rng rng(7);
+  const auto path = chain.simulate(0, 200000, rng);
+  double frac0 = 0.0;
+  for (const auto z : path) frac0 += (z == 0);
+  frac0 /= static_cast<double>(path.size());
+  EXPECT_NEAR(frac0, 0.75, 0.01);
+}
+
+TEST(Markov, KroneckerDimensionsAndRows) {
+  const MarkovChain a(2, {0.9, 0.1, 0.2, 0.8});
+  const MarkovChain b(3, {0.6, 0.2, 0.2, 0.2, 0.6, 0.2, 0.2, 0.2, 0.6});
+  const MarkovChain k = MarkovChain::kronecker(a, b);
+  EXPECT_EQ(k.size(), 6u);
+  // Factorization: P((0,1) -> (1,2)) = a(0,1) * b(1,2).
+  EXPECT_NEAR(k.probability(0 * 3 + 1, 1 * 3 + 2), 0.1 * 0.2, 1e-14);
+  // Rows still sum to one (validated in the constructor; double check one).
+  double row = 0.0;
+  for (std::size_t j = 0; j < 6; ++j) row += k.probability(4, j);
+  EXPECT_NEAR(row, 1.0, 1e-12);
+}
+
+TEST(Markov, KroneckerStationaryFactorizes) {
+  const MarkovChain a(2, {0.9, 0.1, 0.3, 0.7});
+  const MarkovChain b(2, {0.5, 0.5, 0.5, 0.5});
+  const auto pi = MarkovChain::kronecker(a, b).stationary_distribution();
+  const auto pa = a.stationary_distribution();
+  EXPECT_NEAR(pi[0], pa[0] * 0.5, 1e-9);
+  EXPECT_NEAR(pi[3], pa[1] * 0.5, 1e-9);
+}
+
+TEST(Rouwenhorst, TwoStateMatchesClosedForm) {
+  std::vector<double> values;
+  const MarkovChain chain = MarkovChain::rouwenhorst(2, 0.5, 0.1, values);
+  const double p = (1.0 + 0.5) / 2.0;
+  EXPECT_NEAR(chain.probability(0, 0), p, 1e-14);
+  EXPECT_NEAR(chain.probability(0, 1), 1 - p, 1e-14);
+  // Grid is symmetric +- sigma_y.
+  const double sigma_y = 0.1 / std::sqrt(1.0 - 0.25);
+  EXPECT_NEAR(values[0], -sigma_y, 1e-12);
+  EXPECT_NEAR(values[1], sigma_y, 1e-12);
+}
+
+TEST(Rouwenhorst, PersistenceMatchesRho) {
+  // The Rouwenhorst chain reproduces the AR(1) autocorrelation exactly.
+  for (const double rho : {0.0, 0.5, 0.9, 0.95}) {
+    std::vector<double> y;
+    const MarkovChain chain = MarkovChain::rouwenhorst(5, rho, 0.02, y);
+    const auto pi = chain.stationary_distribution();
+    double mean = 0.0;
+    for (std::size_t z = 0; z < 5; ++z) mean += pi[z] * y[z];
+    double var = 0.0, cov = 0.0;
+    for (std::size_t z = 0; z < 5; ++z) {
+      var += pi[z] * (y[z] - mean) * (y[z] - mean);
+      for (std::size_t zp = 0; zp < 5; ++zp)
+        cov += pi[z] * chain.probability(z, zp) * (y[z] - mean) * (y[zp] - mean);
+    }
+    EXPECT_NEAR(cov / var, rho, 1e-10) << "rho=" << rho;
+  }
+}
+
+TEST(Rouwenhorst, UnconditionalVarianceMatches) {
+  const double rho = 0.8, sigma = 0.05;
+  std::vector<double> y;
+  const MarkovChain chain = MarkovChain::rouwenhorst(7, rho, sigma, y);
+  const auto pi = chain.stationary_distribution();
+  double mean = 0.0, var = 0.0;
+  for (std::size_t z = 0; z < 7; ++z) mean += pi[z] * y[z];
+  for (std::size_t z = 0; z < 7; ++z) var += pi[z] * (y[z] - mean) * (y[z] - mean);
+  EXPECT_NEAR(var, sigma * sigma / (1 - rho * rho), 1e-10);
+}
+
+TEST(Rouwenhorst, RejectsBadArguments) {
+  std::vector<double> y;
+  EXPECT_THROW((void)MarkovChain::rouwenhorst(1, 0.5, 0.1, y), std::invalid_argument);
+  EXPECT_THROW((void)MarkovChain::rouwenhorst(3, 1.0, 0.1, y), std::invalid_argument);
+}
+
+TEST(PersistentUniform, DiagonalAndOffDiagonal) {
+  const MarkovChain chain = MarkovChain::persistent_uniform(4, 0.7);
+  EXPECT_NEAR(chain.probability(2, 2), 0.7, 1e-14);
+  EXPECT_NEAR(chain.probability(2, 0), 0.1, 1e-14);
+  const auto pi = chain.stationary_distribution();
+  for (const double p : pi) EXPECT_NEAR(p, 0.25, 1e-10);
+}
+
+TEST(PersistentUniform, SingleStateIsAbsorbing) {
+  const MarkovChain chain = MarkovChain::persistent_uniform(1, 0.3);
+  EXPECT_NEAR(chain.probability(0, 0), 1.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace hddm::olg

@@ -1,0 +1,197 @@
+#include "olg/olg_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/policy.hpp"
+#include "util/rng.hpp"
+
+namespace hddm::olg {
+namespace {
+
+OlgModel make_model(int ages = 6) {
+  return OlgModel(build_economy(reduced_calibration(ages)));
+}
+
+TEST(OlgModel, DimensionsMatchTheory) {
+  const OlgModel m = make_model(6);
+  EXPECT_EQ(m.state_dim(), 5);
+  EXPECT_EQ(m.ndofs(), 10);
+  EXPECT_EQ(m.num_shocks(), 4);
+  EXPECT_EQ(m.domain().dim(), 5);
+}
+
+TEST(OlgModel, PaperDimensionsAre59And118) {
+  // Only construct (no solve): the headline configuration's arity.
+  const OlgModel m(build_economy(paper_calibration()));
+  EXPECT_EQ(m.state_dim(), 59);
+  EXPECT_EQ(m.ndofs(), 118);
+  EXPECT_EQ(m.num_shocks(), 16);
+}
+
+TEST(OlgModel, DomainBracketsSteadyState) {
+  const OlgModel m = make_model(6);
+  const auto& box = m.domain();
+  const SteadyState& ss = m.steady_state();
+  EXPECT_LT(box.lower()[0], ss.capital);
+  EXPECT_GT(box.upper()[0], ss.capital);
+  for (int a = 2; a <= 4; ++a) {
+    EXPECT_LT(box.lower()[a - 1], ss.assets[a - 1]);
+    EXPECT_GT(box.upper()[a - 1], ss.assets[a - 1]);
+  }
+}
+
+TEST(OlgModel, DecodeStateResidualWealth) {
+  const OlgModel m = make_model(6);
+  const std::vector<double> x{2.0, 0.3, 0.5, 0.7, 0.4};
+  const auto s = m.decode_state(x);
+  EXPECT_DOUBLE_EQ(s.capital, 2.0);
+  EXPECT_DOUBLE_EQ(s.wealth[0], 0.0);                      // newborn
+  EXPECT_DOUBLE_EQ(s.wealth[1], 0.3);
+  EXPECT_DOUBLE_EQ(s.wealth[4], 0.4);
+  EXPECT_DOUBLE_EQ(s.wealth[5], 2.0 - (0.3 + 0.5 + 0.7 + 0.4));  // oldest
+}
+
+TEST(OlgModel, ConsumptionRespondsToSavings) {
+  const OlgModel m = make_model(6);
+  const SteadyState& ss = m.steady_state();
+  std::vector<double> x(5);
+  x[0] = ss.capital;
+  for (int a = 2; a <= 5; ++a) x[a - 1] = ss.assets[a - 1];
+  const auto s = m.decode_state(x);
+
+  std::vector<double> savings(ss.savings.begin(), ss.savings.end() - 1);
+  const auto c0 = m.consumption(0, s, savings);
+  savings[1] += 0.1;  // age 2 saves more
+  const auto c1 = m.consumption(0, s, savings);
+  EXPECT_NEAR(c1[1], c0[1] - 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(c1[0], c0[0]);
+}
+
+// A PolicyEvaluator that always returns the steady-state policy — the
+// simplest stationary p_next for solvability tests.
+class SteadyPolicy final : public core::PolicyEvaluator {
+ public:
+  explicit SteadyPolicy(const OlgModel& model) : model_(model) {}
+  [[nodiscard]] int num_shocks() const override { return model_.num_shocks(); }
+  [[nodiscard]] int ndofs() const override { return model_.ndofs(); }
+  void evaluate(int z, std::span<const double> x, std::span<double> out) const override {
+    const auto v = model_.initial_policy(z, x);
+    std::copy(v.begin(), v.end(), out.begin());
+  }
+
+ private:
+  const OlgModel& model_;
+};
+
+TEST(OlgModel, SolvePointConvergesAtSteadyState) {
+  const OlgModel m = make_model(6);
+  const SteadyPolicy pnext(m);
+  const SteadyState& ss = m.steady_state();
+
+  std::vector<double> x(5);
+  x[0] = ss.capital;
+  for (int a = 2; a <= 5; ++a) x[a - 1] = ss.assets[a - 1];
+  const std::vector<double> x_unit = m.domain().to_unit(x);
+
+  std::vector<double> warm(static_cast<std::size_t>(m.ndofs()));
+  pnext.evaluate(0, x_unit, warm);
+  const auto res = m.solve_point(0, x_unit, pnext, warm);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.residual_norm, 1e-8);
+  EXPECT_EQ(static_cast<int>(res.dofs.size()), m.ndofs());
+  // Interpolation counting: every residual evaluation touches all shocks.
+  EXPECT_GT(res.interpolations, m.num_shocks());
+  // At (near) the deterministic steady state with a stationary policy, the
+  // solved savings stay in the neighbourhood of the steady-state profile.
+  for (int a = 1; a <= 4; ++a)
+    EXPECT_NEAR(res.dofs[a - 1], ss.savings[a - 1], 0.6 * std::max(0.2, ss.savings[a - 1]))
+        << "age " << a;
+}
+
+TEST(OlgModel, SolvePointConvergesAcrossStateSpace) {
+  const OlgModel m = make_model(6);
+  const SteadyPolicy pnext(m);
+  util::Rng rng(77);
+  std::vector<double> warm(static_cast<std::size_t>(m.ndofs()));
+  int converged = 0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    // Stay in the middle of the box where consumption is surely positive.
+    std::vector<double> x_unit(5);
+    for (auto& u : x_unit) u = 0.3 + 0.4 * rng.uniform();
+    const int z = static_cast<int>(rng.uniform_index(4));
+    pnext.evaluate(z, x_unit, warm);
+    converged += m.solve_point(z, x_unit, pnext, warm).converged;
+  }
+  EXPECT_GE(converged, trials - 1);
+}
+
+TEST(OlgModel, EulerResidualZeroAfterSolve) {
+  const OlgModel m = make_model(6);
+  const SteadyPolicy pnext(m);
+  const std::vector<double> x_unit(5, 0.5);
+  std::vector<double> warm(static_cast<std::size_t>(m.ndofs()));
+  pnext.evaluate(0, x_unit, warm);
+  const auto res = m.solve_point(0, x_unit, pnext, warm);
+  ASSERT_TRUE(res.converged);
+
+  const auto s = m.decode_state(m.domain().to_physical(x_unit));
+  std::vector<double> savings(res.dofs.begin(), res.dofs.begin() + 5);
+  std::vector<double> r(5);
+  m.euler_residuals(0, s, savings, pnext, r);
+  for (const double v : r) EXPECT_NEAR(v, 0.0, 1e-7);
+}
+
+TEST(OlgModel, ValueCoefficientsAreDiscountedUtilities) {
+  const OlgModel m = make_model(6);
+  const SteadyPolicy pnext(m);
+  const std::vector<double> x_unit(5, 0.5);
+  std::vector<double> warm(static_cast<std::size_t>(m.ndofs()));
+  pnext.evaluate(0, x_unit, warm);
+  const auto res = m.solve_point(0, x_unit, pnext, warm);
+  ASSERT_TRUE(res.converged);
+  // Values must be finite and ordered sensibly: the youngest agent's value
+  // aggregates more discounted utility terms than the oldest worker's.
+  for (int a = 1; a <= 5; ++a) EXPECT_TRUE(std::isfinite(res.dofs[5 + a - 1])) << a;
+}
+
+TEST(OlgModel, InitialPolicyScalesWithCapital) {
+  const OlgModel m = make_model(6);
+  std::vector<double> lo(5, 0.5), hi(5, 0.5);
+  lo[0] = 0.2;  // poor economy
+  hi[0] = 0.8;  // rich economy
+  const auto p_lo = m.initial_policy(0, lo);
+  const auto p_hi = m.initial_policy(0, hi);
+  double s_lo = 0.0, s_hi = 0.0;
+  for (int a = 0; a < 5; ++a) {
+    s_lo += p_lo[a];
+    s_hi += p_hi[a];
+  }
+  EXPECT_GT(s_hi, s_lo);
+}
+
+TEST(OlgModel, EquilibriumResidualDetectsBadPolicy) {
+  const OlgModel m = make_model(6);
+  const SteadyPolicy good(m);
+
+  // A deliberately broken policy: zero savings everywhere.
+  class ZeroPolicy final : public core::PolicyEvaluator {
+   public:
+    explicit ZeroPolicy(const OlgModel& model) : model_(model) {}
+    [[nodiscard]] int num_shocks() const override { return model_.num_shocks(); }
+    [[nodiscard]] int ndofs() const override { return model_.ndofs(); }
+    void evaluate(int, std::span<const double>, std::span<double> out) const override {
+      std::fill(out.begin(), out.end(), 0.01);
+    }
+    const OlgModel& model_;
+  } bad(m);
+
+  const std::vector<double> x_unit(5, 0.5);
+  EXPECT_GT(m.equilibrium_residual(0, x_unit, bad),
+            m.equilibrium_residual(0, x_unit, good) * 0.999);
+}
+
+}  // namespace
+}  // namespace hddm::olg

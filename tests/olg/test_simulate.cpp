@@ -1,0 +1,126 @@
+#include "olg/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/time_iteration.hpp"
+
+namespace hddm::olg {
+namespace {
+
+struct SolvedFixture {
+  OlgModel model;
+  core::TimeIterationResult result;
+
+  SolvedFixture() : model(build_economy(reduced_calibration(5, 2, 1))) {
+    core::TimeIterationOptions opts;
+    opts.base_level = 3;  // level-2 policies are too coarse to keep the
+                          // simulated path inside the box reliably
+    opts.max_iterations = 50;
+    opts.tolerance = 1e-3;
+    result = core::solve_time_iteration(model, opts);
+  }
+};
+
+SolvedFixture& fixture() {
+  static SolvedFixture fx;  // solve once for the whole suite
+  return fx;
+}
+
+TEST(Simulate, PathsHaveRequestedLength) {
+  auto& fx = fixture();
+  SimulationOptions opts;
+  opts.periods = 50;
+  const SimulationResult sim = simulate_economy(fx.model, *fx.result.policy, opts);
+  EXPECT_EQ(sim.capital_path.size(), 50u);
+  EXPECT_EQ(sim.shock_path.size(), 50u);
+  EXPECT_EQ(sim.output_path.size(), 50u);
+}
+
+TEST(Simulate, CapitalStaysPositiveAndBounded) {
+  auto& fx = fixture();
+  const SimulationResult sim = simulate_economy(fx.model, *fx.result.policy);
+  for (const double k : sim.capital_path) {
+    EXPECT_GT(k, 0.0);
+    EXPECT_LT(k, 10.0 * fx.model.steady_state().capital);
+  }
+}
+
+TEST(Simulate, ErgodicCapitalNearSteadyState) {
+  auto& fx = fixture();
+  SimulationOptions opts;
+  opts.periods = 400;
+  opts.burn_in = 50;
+  const SimulationResult sim = simulate_economy(fx.model, *fx.result.policy, opts);
+  // The stochastic mean should be in the neighbourhood of the deterministic
+  // steady state (risk changes it, but not by an order of magnitude).
+  EXPECT_NEAR(sim.capital.mean(), fx.model.steady_state().capital,
+              0.5 * fx.model.steady_state().capital);
+}
+
+TEST(Simulate, EulerErrorsSmallOnErgodicSet) {
+  auto& fx = fixture();
+  const SimulationResult sim = simulate_economy(fx.model, *fx.result.policy);
+  // Converged policies keep path errors at the few-percent level even on
+  // coarse (level-2) grids; they shrink with refinement (Fig. 9 bench).
+  EXPECT_LT(sim.euler_error.mean(), 0.15);
+}
+
+TEST(Simulate, DeterministicGivenSeed) {
+  auto& fx = fixture();
+  SimulationOptions opts;
+  opts.seed = 99;
+  const SimulationResult a = simulate_economy(fx.model, *fx.result.policy, opts);
+  const SimulationResult b = simulate_economy(fx.model, *fx.result.policy, opts);
+  EXPECT_EQ(a.shock_path, b.shock_path);
+  EXPECT_EQ(a.capital_path, b.capital_path);
+}
+
+TEST(Simulate, DifferentSeedsGiveDifferentShockPaths) {
+  auto& fx = fixture();
+  SimulationOptions opts;
+  opts.periods = 100;
+  opts.seed = 1;
+  const SimulationResult a = simulate_economy(fx.model, *fx.result.policy, opts);
+  opts.seed = 2;
+  const SimulationResult b = simulate_economy(fx.model, *fx.result.policy, opts);
+  EXPECT_NE(a.shock_path, b.shock_path);
+}
+
+TEST(Simulate, ShockPathFollowsChainSupport) {
+  auto& fx = fixture();
+  const SimulationResult sim = simulate_economy(fx.model, *fx.result.policy);
+  for (const std::size_t z : sim.shock_path) EXPECT_LT(z, fx.model.economy().num_shocks());
+}
+
+TEST(Simulate, BoxClampingIsRare) {
+  auto& fx = fixture();
+  SimulationOptions opts;
+  opts.periods = 300;
+  const SimulationResult sim = simulate_economy(fx.model, *fx.result.policy, opts);
+  EXPECT_LT(sim.box_clamp_fraction, 0.2);
+}
+
+TEST(Simulate, OutputCommovesWithProductivity) {
+  auto& fx = fixture();
+  SimulationOptions opts;
+  opts.periods = 400;
+  const SimulationResult sim = simulate_economy(fx.model, *fx.result.policy, opts);
+  // Correlate output with the shock's eta.
+  double mean_eta = 0.0, mean_y = 0.0;
+  const auto& econ = fx.model.economy();
+  for (std::size_t t = 0; t < sim.shock_path.size(); ++t) {
+    mean_eta += econ.shocks[sim.shock_path[t]].eta;
+    mean_y += sim.output_path[t];
+  }
+  mean_eta /= static_cast<double>(sim.shock_path.size());
+  mean_y /= static_cast<double>(sim.shock_path.size());
+  double cov = 0.0;
+  for (std::size_t t = 0; t < sim.shock_path.size(); ++t)
+    cov += (econ.shocks[sim.shock_path[t]].eta - mean_eta) * (sim.output_path[t] - mean_y);
+  EXPECT_GT(cov, 0.0);
+}
+
+}  // namespace
+}  // namespace hddm::olg

@@ -1,0 +1,107 @@
+#include "olg/steady_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "olg/preferences.hpp"
+
+namespace hddm::olg {
+namespace {
+
+class SteadyStateTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteadyStateTest, ConvergesAcrossLifespans) {
+  const OlgEconomy econ = build_economy(reduced_calibration(GetParam()));
+  const SteadyState ss = solve_steady_state(econ);
+  EXPECT_TRUE(ss.converged);
+  EXPECT_GT(ss.capital, 0.0);
+  EXPECT_GT(ss.prices.wage, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lifespans, SteadyStateTest, ::testing::Values(4, 6, 9, 12, 20, 30, 60));
+
+TEST(SteadyState, AggregateConsistency) {
+  const OlgEconomy econ = build_economy(reduced_calibration(9));
+  const SteadyState ss = solve_steady_state(econ);
+  // K equals the sum of beginning-of-period assets.
+  double K = 0.0;
+  for (const double a : ss.assets) K += a;
+  EXPECT_NEAR(K, ss.capital, 1e-6 * ss.capital);
+  // Savings of age a become assets of age a+1.
+  for (int a = 1; a < econ.ages(); ++a)
+    EXPECT_NEAR(ss.savings[a - 1], ss.assets[a], 1e-9) << "age " << a;
+}
+
+TEST(SteadyState, BudgetConstraintHoldsAgeByAge) {
+  const OlgEconomy econ = build_economy(reduced_calibration(9));
+  const SteadyState ss = solve_steady_state(econ);
+  const auto pi = econ.chain.stationary_distribution();
+  double tau_l = 0.0, tau_c = 0.0;
+  for (std::size_t z = 0; z < econ.num_shocks(); ++z) {
+    tau_l += pi[z] * econ.shocks[z].tau_labor;
+    tau_c += pi[z] * econ.shocks[z].tau_capital;
+  }
+  const double R = 1.0 + ss.prices.rate * (1.0 - tau_c);
+  for (int a = 1; a <= econ.ages(); ++a) {
+    const double income = (1.0 - tau_l) * ss.prices.wage * econ.efficiency[a - 1] +
+                          (econ.is_retired(a) ? ss.pension : 0.0);
+    const double save = (a < econ.ages()) ? ss.savings[a - 1] : 0.0;
+    EXPECT_NEAR(ss.consumption[a - 1], R * ss.assets[a - 1] + income - save,
+                1e-8 * std::max(1.0, ss.consumption[a - 1]))
+        << "age " << a;
+  }
+}
+
+TEST(SteadyState, EulerEquationHolds) {
+  const OlgEconomy econ = build_economy(reduced_calibration(9));
+  const SteadyState ss = solve_steady_state(econ);
+  const auto pi = econ.chain.stationary_distribution();
+  double tau_c = 0.0;
+  for (std::size_t z = 0; z < econ.num_shocks(); ++z) tau_c += pi[z] * econ.shocks[z].tau_capital;
+  const double R = 1.0 + ss.prices.rate * (1.0 - tau_c);
+  const CrraPreferences prefs(econ.cal.gamma);
+  for (int a = 1; a < econ.ages(); ++a) {
+    const double lhs = prefs.marginal_utility(ss.consumption[a - 1]);
+    const double rhs = econ.beta * R * prefs.marginal_utility(ss.consumption[a]);
+    EXPECT_NEAR(lhs, rhs, 1e-8 * lhs) << "age " << a;
+  }
+}
+
+TEST(SteadyState, ConsumptionPositiveAllAges) {
+  for (const int ages : {6, 12, 60}) {
+    const OlgEconomy econ = build_economy(reduced_calibration(ages));
+    const SteadyState ss = solve_steady_state(econ);
+    for (int a = 1; a <= ages; ++a)
+      EXPECT_GT(ss.consumption[a - 1], 0.0) << "A=" << ages << " age " << a;
+  }
+}
+
+TEST(SteadyState, CapitalOutputRatioIsPlausible) {
+  // Annual calibration should deliver K/Y in the usual 2-4 range.
+  const OlgEconomy econ = build_economy(paper_calibration());
+  const SteadyState ss = solve_steady_state(econ);
+  const double k_over_y = ss.capital / ss.prices.output;
+  EXPECT_GT(k_over_y, 1.5);
+  EXPECT_LT(k_over_y, 6.0);
+}
+
+TEST(SteadyState, RetireesRunDownAssets) {
+  const OlgEconomy econ = build_economy(paper_calibration());
+  const SteadyState ss = solve_steady_state(econ);
+  // Peak assets near retirement, declining afterwards.
+  const int r = econ.retirement_index;
+  double peak = 0.0;
+  int peak_age = 1;
+  for (int a = 1; a <= econ.ages(); ++a)
+    if (ss.assets[a - 1] > peak) {
+      peak = ss.assets[a - 1];
+      peak_age = a;
+    }
+  EXPECT_NEAR(peak_age, r, 6);
+  // Assets decline over the last years of retirement.
+  EXPECT_LT(ss.assets[econ.ages() - 1], peak);
+}
+
+}  // namespace
+}  // namespace hddm::olg

@@ -1,0 +1,99 @@
+#include "parallel/device_dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/compression.hpp"
+#include "sparse_grid/regular.hpp"
+#include "util/rng.hpp"
+
+namespace hddm::parallel {
+namespace {
+
+struct Fixture {
+  sg::GridStorage storage{3};
+  sg::DenseGridData dense;
+  core::CompressedGridData compressed;
+  std::unique_ptr<kernels::InterpolationKernel> device;
+  std::unique_ptr<kernels::InterpolationKernel> cpu;
+
+  Fixture() {
+    sg::build_regular_grid(storage, 3);
+    dense = sg::make_dense_grid(storage, 4);
+    util::Rng rng(8);
+    for (auto& s : dense.surplus) s = rng.uniform(-1, 1);
+    compressed = core::compress(dense);
+    device = kernels::make_kernel(kernels::KernelKind::SimGpu, &dense, &compressed);
+    cpu = kernels::make_kernel(kernels::KernelKind::X86, &dense, &compressed);
+  }
+};
+
+TEST(Dispatcher, OffloadProducesCorrectResult) {
+  Fixture fx;
+  DeviceDispatcher dispatcher(4);
+  util::Rng rng(3);
+  std::vector<double> x = rng.uniform_point(3);
+  std::vector<double> dev_value(4), cpu_value(4);
+  ASSERT_TRUE(dispatcher.try_offload(*fx.device, x.data(), dev_value.data()));
+  fx.cpu->evaluate(x.data(), cpu_value.data());
+  for (int dof = 0; dof < 4; ++dof) EXPECT_NEAR(dev_value[dof], cpu_value[dof], 1e-12);
+  EXPECT_EQ(dispatcher.offloaded(), 1u);
+}
+
+TEST(Dispatcher, ManyConcurrentRequesters) {
+  Fixture fx;
+  DeviceDispatcher dispatcher(8);
+  std::atomic<int> wrong{0};
+  std::atomic<std::uint64_t> cpu_fallbacks{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(50 + t);
+      std::vector<double> x(3), got(4), want(4);
+      for (int trial = 0; trial < 100; ++trial) {
+        for (auto& xi : x) xi = rng.uniform();
+        if (!dispatcher.try_offload(*fx.device, x.data(), got.data())) {
+          fx.cpu->evaluate(x.data(), got.data());
+          cpu_fallbacks.fetch_add(1);
+        }
+        fx.cpu->evaluate(x.data(), want.data());
+        for (int dof = 0; dof < 4; ++dof)
+          if (std::fabs(got[dof] - want[dof]) > 1e-12) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(dispatcher.offloaded() + cpu_fallbacks.load(), 600u);
+  EXPECT_EQ(dispatcher.rejected(), cpu_fallbacks.load());
+}
+
+TEST(Dispatcher, TinyQueueForcesFallbacks) {
+  Fixture fx;
+  DeviceDispatcher dispatcher(1);
+  std::atomic<std::uint64_t> fallbacks{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(99 + t);
+      std::vector<double> x(3), v(4);
+      for (int trial = 0; trial < 50; ++trial) {
+        for (auto& xi : x) xi = rng.uniform();
+        if (!dispatcher.try_offload(*fx.device, x.data(), v.data())) fallbacks.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(dispatcher.offloaded() + fallbacks.load(), 200u);
+}
+
+TEST(Dispatcher, CleanShutdownWithNoRequests) {
+  DeviceDispatcher dispatcher(4);
+  EXPECT_EQ(dispatcher.offloaded(), 0u);
+}
+
+}  // namespace
+}  // namespace hddm::parallel

@@ -1,0 +1,280 @@
+#include "solver/newton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hddm::solver {
+namespace {
+
+TEST(Newton, SolvesScalarQuadratic) {
+  // x^2 - 4 = 0, start at 3 -> root 2.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] * u[0] - 4.0;
+  };
+  const NewtonResult r = solve_newton(f, std::vector<double>{3.0});
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], 2.0, 1e-8);
+  EXPECT_LE(r.residual_norm, 1e-9);
+}
+
+TEST(Newton, SolvesLinearSystemInOneStep) {
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = 2.0 * u[0] + u[1] - 5.0;
+    out[1] = u[0] - 3.0 * u[1] + 2.0;
+  };
+  const NewtonResult r = solve_newton(f, std::vector<double>{0.0, 0.0});
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], 13.0 / 7.0, 1e-8);
+  EXPECT_NEAR(r.solution[1], 9.0 / 7.0, 1e-8);
+  EXPECT_LE(r.iterations, 3);  // linear: one Newton step (+ convergence check)
+}
+
+TEST(Newton, RosenbrockStationarySystem) {
+  // Gradient of Rosenbrock = 0 at (1, 1) — a classic stiff test.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    const double x = u[0], y = u[1];
+    out[0] = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+    out[1] = 200.0 * (y - x * x);
+  };
+  NewtonOptions opts;
+  opts.max_iterations = 200;
+  const NewtonResult r = solve_newton(f, std::vector<double>{-1.2, 1.0}, opts);
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], 1.0, 1e-6);
+  EXPECT_NEAR(r.solution[1], 1.0, 1e-6);
+}
+
+TEST(Newton, TrigSystemNeedsDamping) {
+  // Full steps overshoot; the Armijo backtracking must still converge.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = std::tanh(3.0 * u[0]) - 0.5;
+  };
+  const NewtonResult r = solve_newton(f, std::vector<double>{2.0});
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(std::tanh(3.0 * r.solution[0]), 0.5, 1e-8);
+}
+
+TEST(Newton, AnalyticJacobianPath) {
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] * u[0] - u[1];
+    out[1] = u[1] - 3.0;
+  };
+  const JacobianFn jac = [](std::span<const double> u, util::Matrix& m) {
+    m(0, 0) = 2.0 * u[0];
+    m(0, 1) = -1.0;
+    m(1, 0) = 0.0;
+    m(1, 1) = 1.0;
+  };
+  const NewtonResult r = solve_newton(f, std::vector<double>{1.0, 1.0}, {}, &jac);
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], std::sqrt(3.0), 1e-8);
+  EXPECT_NEAR(r.solution[1], 3.0, 1e-8);
+}
+
+TEST(Newton, BroydenSavesFactorizations) {
+  // A mildly nonlinear 6-dim system; Broyden mode must converge with fewer
+  // full Jacobian builds than iterations.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      const double left = (i > 0) ? u[i - 1] : 0.0;
+      out[i] = u[i] + 0.1 * u[i] * u[i] - 0.3 * left - 1.0;
+    }
+  };
+  NewtonOptions opts;
+  opts.use_broyden = true;
+  opts.max_iterations = 100;
+  const NewtonResult r = solve_newton(f, std::vector<double>(6, 0.0), opts);
+  ASSERT_TRUE(r.converged());
+  std::vector<double> check(6);
+  f(r.solution, check);
+  for (const double c : check) EXPECT_NEAR(c, 0.0, 1e-7);
+}
+
+TEST(Newton, BoxKeepsIterateInside) {
+  // Root of log(x) - 1 = 0 is e; an unconstrained step from a small x could
+  // go negative and NaN out. The box keeps x positive.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = std::log(u[0]) - 1.0;
+  };
+  NewtonOptions opts;
+  opts.lower = {1e-6};
+  opts.upper = {100.0};
+  opts.max_iterations = 100;
+  const NewtonResult r = solve_newton(f, std::vector<double>{0.05}, opts);
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], std::exp(1.0), 1e-7);
+}
+
+TEST(Newton, ReportsSingularJacobian) {
+  // Residual independent of u -> zero Jacobian.
+  const ResidualFn f = [](std::span<const double>, std::span<double> out) { out[0] = 1.0; };
+  const NewtonResult r = solve_newton(f, std::vector<double>{0.0});
+  EXPECT_EQ(r.status, NewtonStatus::SingularJacobian);
+  EXPECT_FALSE(r.converged());
+}
+
+TEST(Newton, ReportsLineSearchFailure) {
+  // |u| has a kink at the "root"; Newton directions keep overshooting and
+  // the merit cannot decrease enough far from 0 -> line search or max-iters.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = (u[0] > 0 ? 1.0 : -1.0) * std::sqrt(std::fabs(u[0])) + 1e-3;
+  };
+  NewtonOptions opts;
+  opts.max_iterations = 8;
+  const NewtonResult r = solve_newton(f, std::vector<double>{10.0}, opts);
+  EXPECT_FALSE(r.status == NewtonStatus::SingularJacobian && r.converged());
+}
+
+TEST(Newton, RandomizedPolynomialSystems) {
+  // Property sweep: diagonally-dominant cubic systems across sizes/seeds.
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(10);
+    std::vector<double> target(n);
+    for (auto& t : target) t = rng.uniform(-1.0, 1.0);
+
+    const ResidualFn f = [&target](std::span<const double> u, std::span<double> out) {
+      for (std::size_t i = 0; i < u.size(); ++i) {
+        const double d = u[i] - target[i];
+        out[i] = d + 0.2 * d * d * d;
+      }
+    };
+    const NewtonResult r = solve_newton(f, std::vector<double>(n, 0.0));
+    ASSERT_TRUE(r.converged()) << "trial " << trial;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r.solution[i], target[i], 1e-7);
+  }
+}
+
+TEST(Newton, EmptySystemThrows) {
+  const ResidualFn f = [](std::span<const double>, std::span<double>) {};
+  EXPECT_THROW((void)solve_newton(f, std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Newton, BoundSizeMismatchThrows) {
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) { out[0] = u[0]; };
+  NewtonOptions opts;
+  opts.lower = {0.0, 0.0};
+  EXPECT_THROW((void)solve_newton(f, std::vector<double>{1.0}, opts), std::invalid_argument);
+}
+
+TEST(FiniteDifference, MatchesAnalyticJacobian) {
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] * u[0] + u[1];
+    out[1] = std::sin(u[0]) * u[1];
+  };
+  const std::vector<double> u{0.7, -1.3};
+  std::vector<double> fu(2);
+  f(u, fu);
+  util::Matrix jac(2, 2);
+  finite_difference_jacobian(f, u, fu, 1e-7, jac);
+  EXPECT_NEAR(jac(0, 0), 2.0 * u[0], 1e-5);
+  EXPECT_NEAR(jac(0, 1), 1.0, 1e-6);
+  EXPECT_NEAR(jac(1, 0), std::cos(u[0]) * u[1], 1e-5);
+  EXPECT_NEAR(jac(1, 1), std::sin(u[0]), 1e-6);
+}
+
+// --- Active-set behavior with bounds ---------------------------------------
+
+TEST(NewtonActiveSet, InteriorSolutionUnaffectedByLooseBounds) {
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] - 1.0;
+    out[1] = u[1] + 2.0;
+  };
+  NewtonOptions opts;
+  opts.lower = {-10.0, -10.0};
+  opts.upper = {10.0, 10.0};
+  const NewtonResult r = solve_newton(f, std::vector<double>{0.0, 0.0}, opts);
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.solution[1], -2.0, 1e-10);
+}
+
+TEST(NewtonActiveSet, PinnedVariableDoesNotBlockOthers) {
+  // Root of (u0 - 5, u1 - 1) with u0 capped at 2: u0 pins at the bound and
+  // u1 must still converge exactly — the regression the OLG model hit when a
+  // generation's consumption floor bound poisoned every other Euler
+  // equation's line search.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] - 5.0;
+    out[1] = u[1] - 1.0;
+  };
+  NewtonOptions opts;
+  opts.lower = {-10.0, -10.0};
+  opts.upper = {2.0, 10.0};
+  const NewtonResult r = solve_newton(f, std::vector<double>{0.0, 0.0}, opts);
+  ASSERT_TRUE(r.converged());
+  EXPECT_DOUBLE_EQ(r.solution[0], 2.0);       // at the bound
+  EXPECT_NEAR(r.solution[1], 1.0, 1e-8);      // free component solved
+  EXPECT_LE(r.residual_norm, 1e-8);           // free residual norm
+}
+
+TEST(NewtonActiveSet, CoupledSystemWithBindingBound) {
+  // u0 wants to be 4 but is capped at 1; u1 depends on u0.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] - 4.0;
+    out[1] = u[1] - 0.5 * u[0];
+  };
+  NewtonOptions opts;
+  opts.lower = {0.0, -10.0};
+  opts.upper = {1.0, 10.0};
+  const NewtonResult r = solve_newton(f, std::vector<double>{0.5, 0.0}, opts);
+  ASSERT_TRUE(r.converged());
+  EXPECT_DOUBLE_EQ(r.solution[0], 1.0);
+  EXPECT_NEAR(r.solution[1], 0.5, 1e-9);  // consistent with the pinned u0
+}
+
+TEST(NewtonActiveSet, AllVariablesPinnedIsAKktCorner) {
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] - 5.0;  // wants to exceed the cap
+  };
+  NewtonOptions opts;
+  opts.lower = {0.0};
+  opts.upper = {1.0};
+  const NewtonResult r = solve_newton(f, std::vector<double>{0.5}, opts);
+  ASSERT_TRUE(r.converged());
+  EXPECT_DOUBLE_EQ(r.solution[0], 1.0);
+}
+
+TEST(NewtonActiveSet, BoundReleasedWhenDirectionTurnsInward) {
+  // Start ON the bound but with the solution inside: the variable must not
+  // stay pinned.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] - 0.3;
+  };
+  NewtonOptions opts;
+  opts.lower = {0.0};
+  opts.upper = {1.0};
+  const NewtonResult r = solve_newton(f, std::vector<double>{1.0}, opts);
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], 0.3, 1e-10);
+}
+
+TEST(NewtonActiveSet, NonlinearBoundCase) {
+  // Nonlinear 3-var system; middle variable binds below.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] * u[0] - 4.0;          // root 2
+    out[1] = u[1] + 3.0;                 // wants -3, capped at -1
+    out[2] = u[2] - u[0] - u[1];         // follows the others
+  };
+  NewtonOptions opts;
+  opts.lower = {0.1, -1.0, -100.0};
+  opts.upper = {100.0, 100.0, 100.0};
+  const NewtonResult r = solve_newton(f, std::vector<double>{1.0, 0.0, 0.0}, opts);
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], 2.0, 1e-8);
+  EXPECT_DOUBLE_EQ(r.solution[1], -1.0);
+  EXPECT_NEAR(r.solution[2], 1.0, 1e-8);
+}
+
+TEST(NewtonStatus, ToStringCoversAllValues) {
+  EXPECT_EQ(to_string(NewtonStatus::Converged), "converged");
+  EXPECT_EQ(to_string(NewtonStatus::MaxIterations), "max-iterations");
+  EXPECT_EQ(to_string(NewtonStatus::LineSearchFailed), "line-search-failed");
+  EXPECT_EQ(to_string(NewtonStatus::SingularJacobian), "singular-jacobian");
+}
+
+}  // namespace
+}  // namespace hddm::solver

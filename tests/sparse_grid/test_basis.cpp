@@ -1,0 +1,149 @@
+#include "sparse_grid/basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hddm::sg {
+namespace {
+
+TEST(Basis, RootIsConstantOne) {
+  for (const double x : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(hat_value(kRootPair, x), 1.0);
+}
+
+TEST(Basis, RootPointIsCenter) { EXPECT_DOUBLE_EQ(point_coordinate(kRootPair), 0.5); }
+
+TEST(Basis, Level2PointsAreBoundaries) {
+  EXPECT_DOUBLE_EQ(point_coordinate({2, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(point_coordinate({2, 2}), 1.0);
+}
+
+TEST(Basis, Level2HatsPeakAtBoundaries) {
+  EXPECT_DOUBLE_EQ(hat_value({2, 0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(hat_value({2, 0}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hat_value({2, 0}, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(hat_value({2, 2}, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(hat_value({2, 2}, 0.5), 0.0);
+}
+
+TEST(Basis, InteriorHatSupportWidth) {
+  // (3,1): center 0.25, support (0, 0.5).
+  EXPECT_DOUBLE_EQ(point_coordinate({3, 1}), 0.25);
+  EXPECT_DOUBLE_EQ(hat_value({3, 1}, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(hat_value({3, 1}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hat_value({3, 1}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(hat_value({3, 1}, 0.125), 0.5);
+  EXPECT_DOUBLE_EQ(hat_value({3, 1}, 0.75), 0.0);  // clamped outside
+}
+
+TEST(Basis, HatIsNonNegativeEverywhere) {
+  for (level_t l = 1; l <= 6; ++l) {
+    const index_t top = level_cardinality(l);
+    for (index_t k = 0; k < top; ++k) {
+      const index_t i = (l == 1) ? 1 : (l == 2 ? 2 * k : 2 * k + 1);
+      for (double x = 0.0; x <= 1.0; x += 1.0 / 64)
+        EXPECT_GE(hat_value({l, i}, x), 0.0);
+    }
+  }
+}
+
+TEST(Basis, ValidPairsMatchIndexSets) {
+  EXPECT_TRUE(is_valid_pair({1, 1}));
+  EXPECT_FALSE(is_valid_pair({1, 0}));
+  EXPECT_TRUE(is_valid_pair({2, 0}));
+  EXPECT_FALSE(is_valid_pair({2, 1}));
+  EXPECT_TRUE(is_valid_pair({2, 2}));
+  EXPECT_TRUE(is_valid_pair({3, 1}));
+  EXPECT_TRUE(is_valid_pair({3, 3}));
+  EXPECT_FALSE(is_valid_pair({3, 2}));
+  EXPECT_FALSE(is_valid_pair({3, 5}));  // >= 2^(l-1)
+  EXPECT_TRUE(is_valid_pair({4, 7}));
+}
+
+TEST(Basis, LevelCardinalities) {
+  EXPECT_EQ(level_cardinality(1), 1u);
+  EXPECT_EQ(level_cardinality(2), 2u);
+  EXPECT_EQ(level_cardinality(3), 2u);
+  EXPECT_EQ(level_cardinality(4), 4u);
+  EXPECT_EQ(level_cardinality(5), 8u);
+}
+
+TEST(Basis, ChildrenOfRootAreBoundaries) {
+  LevelIndex kids[2];
+  ASSERT_EQ(children(kRootPair, kids), 2);
+  EXPECT_EQ(kids[0], (LevelIndex{2, 0}));
+  EXPECT_EQ(kids[1], (LevelIndex{2, 2}));
+}
+
+TEST(Basis, BoundaryPointsHaveOneChild) {
+  LevelIndex kids[2];
+  ASSERT_EQ(children({2, 0}, kids), 1);
+  EXPECT_EQ(kids[0], (LevelIndex{3, 1}));
+  ASSERT_EQ(children({2, 2}, kids), 1);
+  EXPECT_EQ(kids[0], (LevelIndex{3, 3}));
+}
+
+TEST(Basis, InteriorPointsHaveTwoChildren) {
+  LevelIndex kids[2];
+  ASSERT_EQ(children({3, 1}, kids), 2);
+  EXPECT_EQ(kids[0], (LevelIndex{4, 1}));
+  EXPECT_EQ(kids[1], (LevelIndex{4, 3}));
+  ASSERT_EQ(children({4, 5}, kids), 2);
+  EXPECT_EQ(kids[0], (LevelIndex{5, 9}));
+  EXPECT_EQ(kids[1], (LevelIndex{5, 11}));
+}
+
+TEST(Basis, ParentInvertsChildren) {
+  // Every child's parent is the original pair, across several levels.
+  LevelIndex stack[64];
+  int top = 0;
+  stack[top++] = kRootPair;
+  while (top > 0) {
+    const LevelIndex p = stack[--top];
+    if (p.l >= 6) continue;
+    LevelIndex kids[2];
+    const int n = children(p, kids);
+    for (int c = 0; c < n; ++c) {
+      EXPECT_EQ(parent(kids[c]), p) << "level " << int(kids[c].l) << " index " << kids[c].i;
+      stack[top++] = kids[c];
+    }
+  }
+}
+
+TEST(Basis, ChildrenAreValidPairs) {
+  LevelIndex kids[2];
+  for (const LevelIndex p : {LevelIndex{3, 1}, LevelIndex{3, 3}, LevelIndex{4, 7}}) {
+    const int n = children(p, kids);
+    for (int c = 0; c < n; ++c) EXPECT_TRUE(is_valid_pair(kids[c]));
+  }
+}
+
+TEST(Basis, ChildCentersLieInParentSupport) {
+  LevelIndex kids[2];
+  for (const LevelIndex p : {LevelIndex{3, 1}, LevelIndex{4, 5}, LevelIndex{5, 11}}) {
+    const int n = children(p, kids);
+    for (int c = 0; c < n; ++c)
+      EXPECT_GT(hat_value(p, point_coordinate(kids[c])), 0.0);
+  }
+}
+
+TEST(Basis, HatVanishesAtCoarserGridPoints) {
+  // Key hierarchization property: a level-l hat (l>2) vanishes at all grid
+  // points of strictly coarser levels.
+  for (level_t l = 3; l <= 6; ++l) {
+    for (index_t i = 1; i < (index_t{1} << (l - 1)); i += 2) {
+      for (level_t lc = 1; lc < l; ++lc) {
+        const index_t ctop = (lc == 1) ? 1 : (lc == 2 ? 2 : (index_t{1} << (lc - 1)));
+        for (index_t ic = (lc == 2 ? 0 : 1); ic <= ctop; ic += (lc == 1 ? 1 : 2)) {
+          if (!is_valid_pair({lc, ic})) continue;
+          EXPECT_DOUBLE_EQ(hat_value({l, i}, point_coordinate({lc, ic})), 0.0)
+              << "phi_(" << int(l) << "," << i << ") at x_(" << int(lc) << "," << ic << ")";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hddm::sg

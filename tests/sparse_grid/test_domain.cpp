@@ -1,0 +1,51 @@
+#include "sparse_grid/domain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hddm::sg {
+namespace {
+
+TEST(BoxDomain, RoundTripsInteriorPoints) {
+  const BoxDomain box({-2.0, 0.5}, {2.0, 3.5});
+  const std::vector<double> u{0.25, 0.5};
+  const std::vector<double> x = box.to_physical(u);
+  EXPECT_DOUBLE_EQ(x[0], -1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  const std::vector<double> back = box.to_unit(x);
+  EXPECT_DOUBLE_EQ(back[0], 0.25);
+  EXPECT_DOUBLE_EQ(back[1], 0.5);
+}
+
+TEST(BoxDomain, ClampsOutOfBoxStates) {
+  const BoxDomain box({0.0}, {1.0});
+  EXPECT_DOUBLE_EQ(box.to_unit(std::vector<double>{-3.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(box.to_unit(std::vector<double>{42.0})[0], 1.0);
+}
+
+TEST(BoxDomain, InPlaceMatchesAllocating) {
+  const BoxDomain box({-1.0, 2.0, 0.0}, {1.0, 4.0, 10.0});
+  std::vector<double> x{0.5, 3.7, 11.0};
+  const std::vector<double> expected = box.to_unit(x);
+  box.to_unit_inplace(x);
+  EXPECT_EQ(x, expected);
+}
+
+TEST(BoxDomain, CornersMapToUnitCorners) {
+  const BoxDomain box({-5.0, 1.0}, {5.0, 2.0});
+  EXPECT_EQ(box.to_unit(box.lower()), (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(box.to_unit(box.upper()), (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(BoxDomain, RejectsBadBounds) {
+  EXPECT_THROW(BoxDomain({0.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(BoxDomain({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(BoxDomain({0.0, 0.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(BoxDomain, RejectsDimensionMismatch) {
+  const BoxDomain box({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_THROW((void)box.to_physical(std::vector<double>{0.5}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hddm::sg

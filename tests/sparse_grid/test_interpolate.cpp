@@ -1,0 +1,107 @@
+#include "sparse_grid/interpolate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse_grid/hierarchize.hpp"
+#include "sparse_grid/regular.hpp"
+#include "util/rng.hpp"
+
+namespace hddm::sg {
+namespace {
+
+TEST(ReferenceInterpolate, SingleDofMatchesMultiDof) {
+  GridStorage g(2);
+  build_regular_grid(g, 3);
+  util::Rng rng(1);
+  DenseGridData grid = make_dense_grid(g, 2);
+  for (auto& s : grid.surplus) s = rng.uniform(-1, 1);
+
+  std::vector<double> surplus0(g.size());
+  for (std::uint32_t p = 0; p < g.size(); ++p) surplus0[p] = grid.surplus_row(p)[0];
+
+  std::vector<double> value(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto x = rng.uniform_point(2);
+    reference_interpolate(grid, x, value);
+    const double one = reference_interpolate_one(g, surplus0, x);
+    EXPECT_NEAR(one, value[0], 1e-13);
+  }
+}
+
+TEST(ReferenceInterpolate, LevelSumBoundRestrictsContributions) {
+  GridStorage g(2);
+  build_regular_grid(g, 4);
+  const DenseGridData grid = hierarchize_function(g, 1, [](std::span<const double> x) {
+    return std::vector<double>{std::sin(3 * x[0]) * x[1]};
+  });
+
+  // With the bound at the root's level sum + 1, only the root contributes.
+  std::vector<double> value(1);
+  const std::vector<double> x{0.3, 0.8};
+  reference_interpolate_below(grid, 2 + 1, x, value);
+  EXPECT_DOUBLE_EQ(value[0], grid.surplus_row(0)[0]);
+
+  // An unbounded evaluation matches reference_interpolate.
+  std::vector<double> full(1), below(1);
+  reference_interpolate(grid, x, full);
+  reference_interpolate_below(grid, 1 << 20, x, below);
+  EXPECT_DOUBLE_EQ(full[0], below[0]);
+}
+
+TEST(ReferenceInterpolate, PartialInterpolantsAreNested) {
+  // u_{<L}(x) converges monotonically in content toward u(x) as L grows:
+  // each bound adds exactly the surpluses of one more level sum.
+  GridStorage g(3);
+  build_regular_grid(g, 4);
+  util::Rng rng(9);
+  DenseGridData grid = make_dense_grid(g, 1);
+  for (auto& s : grid.surplus) s = rng.uniform(-1, 1);
+
+  const std::vector<double> x{0.21, 0.55, 0.83};
+  std::vector<double> prev(1), curr(1);
+  reference_interpolate_below(grid, 3, x, prev);
+  double reconstructed = prev[0];
+  for (int bound = 4; bound <= 7; ++bound) {
+    reference_interpolate_below(grid, bound, x, curr);
+    // The increment equals the direct sum over points at level sum bound-1.
+    double increment = 0.0;
+    for (std::uint32_t p = 0; p < grid.nno; ++p) {
+      if (level_sum(grid.point(p)) != bound - 1) continue;
+      increment += grid.surplus_row(p)[0] * tensor_basis_value(grid.point(p), x);
+    }
+    reconstructed += increment;
+    EXPECT_NEAR(curr[0], reconstructed, 1e-12) << "bound " << bound;
+  }
+}
+
+TEST(ReferenceInterpolate, SizeMismatchesThrow) {
+  GridStorage g(2);
+  build_regular_grid(g, 2);
+  const DenseGridData grid = make_dense_grid(g, 2);
+  std::vector<double> wrong(3);
+  EXPECT_THROW(reference_interpolate(grid, std::vector<double>{0.5, 0.5}, wrong),
+               std::invalid_argument);
+  const std::vector<double> short_surplus(2);
+  EXPECT_THROW((void)reference_interpolate_one(g, short_surplus, std::vector<double>{0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(TensorBasis, EarlyExitOnZeroFactor) {
+  // x outside one dimension's support kills the whole product.
+  const MultiIndex mi{{3, 1}, {3, 3}};
+  const std::vector<double> x{0.25, 0.25};  // second factor: hat_(3,3)(0.25)=0
+  EXPECT_DOUBLE_EQ(tensor_basis_value(mi, x), 0.0);
+  const std::vector<double> y{0.25, 0.75};
+  EXPECT_DOUBLE_EQ(tensor_basis_value(mi, y), 1.0);
+}
+
+TEST(TensorBasis, RootDimensionsContributeUnity) {
+  const MultiIndex mi{{1, 1}, {4, 5}, {1, 1}};
+  const std::vector<double> x{0.01, point_coordinate({4, 5}), 0.99};
+  EXPECT_DOUBLE_EQ(tensor_basis_value(mi, x), 1.0);
+}
+
+}  // namespace
+}  // namespace hddm::sg

@@ -1,0 +1,127 @@
+#include "sparse_grid/quadrature.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse_grid/hierarchize.hpp"
+#include "sparse_grid/interpolate.hpp"
+#include "sparse_grid/regular.hpp"
+#include "util/rng.hpp"
+
+namespace hddm::sg {
+namespace {
+
+TEST(Quadrature, HatIntegralsClosedForm) {
+  EXPECT_DOUBLE_EQ(hat_integral(kRootPair), 1.0);
+  EXPECT_DOUBLE_EQ(hat_integral({2, 0}), 0.25);
+  EXPECT_DOUBLE_EQ(hat_integral({2, 2}), 0.25);
+  EXPECT_DOUBLE_EQ(hat_integral({3, 1}), 0.25);  // width 1/2, area 1/4
+  EXPECT_DOUBLE_EQ(hat_integral({4, 3}), 0.125);
+  EXPECT_DOUBLE_EQ(hat_integral({5, 7}), 0.0625);
+}
+
+TEST(Quadrature, HatIntegralsMatchTrapezoidal) {
+  // Numerical check against a fine midpoint rule.
+  for (const LevelIndex li : {LevelIndex{2, 0}, {3, 1}, {3, 3}, {4, 1}, {5, 15}}) {
+    double acc = 0.0;
+    const int n = 200000;
+    for (int k = 0; k < n; ++k) acc += hat_value(li, (k + 0.5) / n);
+    EXPECT_NEAR(acc / n, hat_integral(li), 1e-6);
+  }
+}
+
+TEST(Quadrature, TensorIntegralIsProduct) {
+  const MultiIndex mi{{3, 1}, {1, 1}, {2, 2}};
+  EXPECT_DOUBLE_EQ(basis_integral(mi), 0.25 * 1.0 * 0.25);
+}
+
+TEST(Quadrature, ExactForConstant) {
+  GridStorage g(3);
+  build_regular_grid(g, 3);
+  const DenseGridData grid = hierarchize_function(
+      g, 1, [](std::span<const double>) { return std::vector<double>{7.5}; });
+  const auto integral = integrate(grid);
+  EXPECT_NEAR(integral[0], 7.5, 1e-12);
+}
+
+TEST(Quadrature, ExactForSeparableLinear) {
+  // f(x) = x0 + 2 x1: integral over [0,1]^2 = 0.5 + 1.0 = 1.5. Linear
+  // functions are exactly represented at level >= 2, so quadrature is exact.
+  GridStorage g(2);
+  build_regular_grid(g, 2);
+  const DenseGridData grid = hierarchize_function(g, 1, [](std::span<const double> x) {
+    return std::vector<double>{x[0] + 2.0 * x[1]};
+  });
+  EXPECT_NEAR(integrate(grid)[0], 1.5, 1e-12);
+}
+
+TEST(Quadrature, MatchesMonteCarloOnInterpolant) {
+  // The quadrature must equal the (high-sample) Monte Carlo integral of the
+  // *interpolant itself* to statistical accuracy — exactness is over u, not f.
+  GridStorage g(3);
+  build_regular_grid(g, 4);
+  const DenseGridData grid = hierarchize_function(g, 2, [](std::span<const double> x) {
+    return std::vector<double>{std::sin(x[0] + x[1]) + x[2], std::exp(x[0] - x[2])};
+  });
+  const auto exact = integrate(grid);
+
+  util::Rng rng(31);
+  std::vector<double> value(2), mc(2, 0.0);
+  const int samples = 200000;
+  for (int s = 0; s < samples; ++s) {
+    const auto x = rng.uniform_point(3);
+    reference_interpolate(grid, x, value);
+    mc[0] += value[0];
+    mc[1] += value[1];
+  }
+  EXPECT_NEAR(exact[0], mc[0] / samples, 5e-3);
+  EXPECT_NEAR(exact[1], mc[1] / samples, 5e-3);
+}
+
+TEST(Quadrature, ConvergesToTrueIntegral) {
+  // Integral of the interpolant converges to the integral of f with level.
+  const double truth = (1.0 - std::cos(1.0)) * (1.0 - std::cos(1.0));  // ∫∫ sin(x)sin(y)
+  double last_err = 1e9;
+  for (int level = 2; level <= 6; ++level) {
+    GridStorage g(2);
+    build_regular_grid(g, level);
+    const DenseGridData grid = hierarchize_function(g, 1, [](std::span<const double> x) {
+      return std::vector<double>{std::sin(x[0]) * std::sin(x[1])};
+    });
+    const double err = std::fabs(integrate(grid)[0] - truth);
+    EXPECT_LT(err, last_err + 1e-15) << "level " << level;
+    last_err = err;
+  }
+  EXPECT_LT(last_err, 1e-4);
+}
+
+TEST(Quadrature, PhysicalBoxScalesByVolume) {
+  GridStorage g(2);
+  build_regular_grid(g, 2);
+  const DenseGridData grid = hierarchize_function(
+      g, 1, [](std::span<const double>) { return std::vector<double>{3.0}; });
+  const BoxDomain box({0.0, -1.0}, {2.0, 1.0});  // volume 4
+  EXPECT_NEAR(integrate(grid, box)[0], 12.0, 1e-12);
+}
+
+TEST(Quadrature, WeightsReproduceIntegrate) {
+  GridStorage g(3);
+  build_regular_grid(g, 3);
+  util::Rng rng(5);
+  DenseGridData grid = make_dense_grid(g, 2);
+  for (auto& s : grid.surplus) s = rng.uniform(-1, 1);
+
+  const auto weights = quadrature_weights(grid);
+  const auto direct = integrate(grid);
+  double acc0 = 0.0, acc1 = 0.0;
+  for (std::uint32_t p = 0; p < grid.nno; ++p) {
+    acc0 += weights[p] * grid.surplus_row(p)[0];
+    acc1 += weights[p] * grid.surplus_row(p)[1];
+  }
+  EXPECT_NEAR(acc0, direct[0], 1e-13);
+  EXPECT_NEAR(acc1, direct[1], 1e-13);
+}
+
+}  // namespace
+}  // namespace hddm::sg

@@ -1,0 +1,132 @@
+#include "sparse_grid/regular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hddm::sg {
+namespace {
+
+// --- The paper's exact grid sizes (footnote 12 and Sec. V-B/V-C) ----------
+
+TEST(RegularCounts, PaperD59Level2Is119) { EXPECT_EQ(count_regular_points(59, 2), 119u); }
+TEST(RegularCounts, PaperD59Level3Is7081) { EXPECT_EQ(count_regular_points(59, 3), 7081u); }
+TEST(RegularCounts, PaperD59Level4Is281077) {
+  EXPECT_EQ(count_regular_points(59, 4), 281077u);
+}
+TEST(RegularCounts, PaperD59Level5Is8378001) {
+  EXPECT_EQ(count_regular_points(59, 5), 8378001u);
+}
+TEST(RegularCounts, PaperD59Level6Above2e8) {
+  EXPECT_GT(count_regular_points(59, 6), 200000000u);
+}
+
+TEST(RegularCounts, Level1IsAlwaysOne) {
+  for (int d = 1; d <= 64; ++d) EXPECT_EQ(count_regular_points(d, 1), 1u);
+}
+
+TEST(RegularCounts, Level2Is2dPlus1) {
+  for (int d = 1; d <= 64; ++d) EXPECT_EQ(count_regular_points(d, 2), 2u * d + 1u);
+}
+
+TEST(RegularCounts, OneDimensionalEqualsFullGrid) {
+  // In 1-D the sparse grid is the full hierarchical grid: 2^(n-1) + 1 points
+  // for n >= 2.
+  EXPECT_EQ(count_regular_points(1, 1), 1u);
+  EXPECT_EQ(count_regular_points(1, 2), 3u);
+  EXPECT_EQ(count_regular_points(1, 3), 5u);
+  EXPECT_EQ(count_regular_points(1, 4), 9u);
+  EXPECT_EQ(count_regular_points(1, 5), 17u);
+}
+
+TEST(RegularCounts, IncrementDecomposition) {
+  for (int d : {2, 5, 17}) {
+    for (int n = 2; n <= 5; ++n) {
+      EXPECT_EQ(count_regular_points(d, n),
+                count_regular_points(d, n - 1) + count_level_increment(d, n));
+    }
+  }
+}
+
+TEST(RegularCounts, BadArgumentsThrow) {
+  EXPECT_THROW((void)count_regular_points(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)count_regular_points(3, 0), std::invalid_argument);
+}
+
+// --- Construction ----------------------------------------------------------
+
+class RegularBuildTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RegularBuildTest, SizeMatchesCountFormula) {
+  const auto [d, n] = GetParam();
+  GridStorage g(d);
+  build_regular_grid(g, n);
+  EXPECT_EQ(g.size(), count_regular_points(d, n));
+}
+
+TEST_P(RegularBuildTest, AllPointsSatisfyLevelSumBound) {
+  const auto [d, n] = GetParam();
+  GridStorage g(d);
+  build_regular_grid(g, n);
+  for (std::uint32_t p = 0; p < g.size(); ++p) {
+    EXPECT_LE(g.level_sum(p), n + d - 1);
+    for (const auto& li : g.point(p)) EXPECT_TRUE(is_valid_pair(li));
+  }
+}
+
+TEST_P(RegularBuildTest, PointsAreUniqueAndSorted) {
+  const auto [d, n] = GetParam();
+  GridStorage g(d);
+  build_regular_grid(g, n);
+  std::set<std::vector<int>> seen;
+  int last_lsum = 0;
+  for (std::uint32_t p = 0; p < g.size(); ++p) {
+    std::vector<int> key;
+    for (const auto& li : g.point(p)) {
+      key.push_back(li.l);
+      key.push_back(static_cast<int>(li.i));
+    }
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate point";
+    // Construction appends level increments, so level sums ascend.
+    EXPECT_GE(g.level_sum(p), last_lsum);
+    last_lsum = g.level_sum(p);
+  }
+}
+
+TEST_P(RegularBuildTest, GridIsAncestorClosed) {
+  const auto [d, n] = GetParam();
+  GridStorage g(d);
+  build_regular_grid(g, n);
+  const std::uint32_t size_before = g.size();
+  for (std::uint32_t p = 0; p < size_before; ++p) EXPECT_EQ(g.close_ancestors(p), 0u);
+  EXPECT_EQ(g.size(), size_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(DimsAndLevels, RegularBuildTest,
+                         ::testing::Values(std::pair{1, 4}, std::pair{2, 3}, std::pair{2, 5},
+                                           std::pair{3, 4}, std::pair{5, 3}, std::pair{8, 3},
+                                           std::pair{10, 2}, std::pair{59, 2}));
+
+TEST(RegularBuild, D59Level3MatchesPaper) {
+  GridStorage g(59);
+  build_regular_grid(g, 3);
+  EXPECT_EQ(g.size(), 7081u);
+}
+
+TEST(RegularBuild, AppendIncrementExtendsInPlace) {
+  GridStorage g(4);
+  build_regular_grid(g, 2);
+  const std::uint32_t l2 = g.size();
+  append_level_increment(g, 3);
+  EXPECT_EQ(g.size() - l2, count_level_increment(4, 3));
+  EXPECT_EQ(g.size(), count_regular_points(4, 3));
+}
+
+TEST(RegularBuild, RequiresEmptyStorage) {
+  GridStorage g(2);
+  build_regular_grid(g, 2);
+  EXPECT_THROW(build_regular_grid(g, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hddm::sg

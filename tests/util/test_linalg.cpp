@@ -1,0 +1,134 @@
+#include "util/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace hddm::util {
+namespace {
+
+TEST(Matrix, IdentityApplyIsIdentity) {
+  const Matrix id = Matrix::identity(4);
+  const std::vector<double> x{1.0, -2.0, 3.5, 0.25};
+  EXPECT_EQ(id.apply(x), x);
+}
+
+TEST(Matrix, ApplyMatchesManualProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = -1;
+  a(1, 1) = 0.5;
+  a(1, 2) = 4;
+  const std::vector<double> x{2.0, 1.0, -1.0};
+  const std::vector<double> y = a.apply(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 * 2 + 2 * 1 + 3 * -1);
+  EXPECT_DOUBLE_EQ(y[1], -1.0 * 2 + 0.5 * 1 + 4 * -1);
+}
+
+TEST(Matrix, MultiplyAssociatesWithApply) {
+  Rng rng(7);
+  Matrix a(3, 3), b(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = rng.uniform(-1, 1);
+      b(r, c) = rng.uniform(-1, 1);
+    }
+  const std::vector<double> x{0.3, -0.7, 1.1};
+  const std::vector<double> lhs = a.multiply(b).apply(x);
+  const std::vector<double> rhs = a.apply(b.apply(x));
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-12);
+}
+
+TEST(Matrix, TransposedSwapsIndices) {
+  Matrix a(2, 3);
+  a(0, 2) = 5.0;
+  a(1, 0) = -2.0;
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+}
+
+TEST(Lu, SolvesDiagonalSystem) {
+  Matrix a(3, 3);
+  a(0, 0) = 2.0;
+  a(1, 1) = 4.0;
+  a(2, 2) = -8.0;
+  const std::vector<double> x = solve_dense(a, {2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.5);
+  EXPECT_DOUBLE_EQ(x[2], -0.25);
+}
+
+TEST(Lu, SolvesSystemRequiringPivoting) {
+  // Zero on the leading diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const std::vector<double> x = solve_dense(a, {3.0, 7.0});
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(Lu, RandomSystemsRoundTrip) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(12);
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+      a(r, r) += 3.0;  // diagonal dominance keeps it nonsingular
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.uniform(-5, 5);
+    const std::vector<double> b = a.apply(x_true);
+    const std::vector<double> x = solve_dense(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 4.0;
+  a(1, 1) = 2.0;
+  EXPECT_NEAR(LuFactorization(a).determinant(), 2.0, 1e-12);
+}
+
+TEST(Lu, PermutationSignInDeterminant) {
+  // A pure row swap of the identity has determinant -1.
+  Matrix a(2, 2);
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  EXPECT_NEAR(LuFactorization(a).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, ThrowsOnSingularMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(LuFactorization{a}, SingularMatrixError);
+}
+
+TEST(Lu, ThrowsOnNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(LuFactorization{a}, std::invalid_argument);
+}
+
+TEST(Lu, RhsSizeMismatchThrows) {
+  const LuFactorization lu(Matrix::identity(3));
+  EXPECT_THROW((void)lu.solve({1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hddm::util

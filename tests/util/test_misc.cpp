@@ -1,0 +1,127 @@
+// Tests for the small utilities: aligned allocation, timers, env parsing,
+// logging thresholds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+#include "util/aligned.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace hddm::util {
+namespace {
+
+TEST(Aligned, VectorDataIs64ByteAligned) {
+  for (const std::size_t n : {1u, 7u, 64u, 1000u}) {
+    aligned_vector<double> v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u) << n;
+  }
+}
+
+TEST(Aligned, SurvivesGrowth) {
+  aligned_vector<double> v;
+  for (int k = 0; k < 1000; ++k) v.push_back(static_cast<double>(k));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 64, 0u);
+  EXPECT_DOUBLE_EQ(v[999], 999.0);
+}
+
+TEST(Aligned, WorksWithOtherTypes) {
+  aligned_vector<float> f(33, 2.0f);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f.data()) % 64, 0u);
+  aligned_vector<std::uint32_t> u(17, 5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(u.data()) % 64, 0u);
+}
+
+TEST(Aligned, AllocatorEquality) {
+  const AlignedAllocator<double> a, b;
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a != b);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1e3, t.seconds() * 20.0);
+}
+
+TEST(Timer, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.010);
+}
+
+TEST(Timer, ScopedAccumulatorAddsUp) {
+  double bucket = 0.0;
+  {
+    const ScopedAccumulator acc(bucket);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    const ScopedAccumulator acc(bucket);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(bucket, 0.008);
+}
+
+TEST(Env, ParsesLongs) {
+  ::setenv("HDDM_TEST_LONG", "42", 1);
+  EXPECT_EQ(env_long("HDDM_TEST_LONG", 7), 42);
+  ::setenv("HDDM_TEST_LONG", "not a number", 1);
+  EXPECT_EQ(env_long("HDDM_TEST_LONG", 7), 7);
+  ::unsetenv("HDDM_TEST_LONG");
+  EXPECT_EQ(env_long("HDDM_TEST_LONG", 7), 7);
+}
+
+TEST(Env, ParsesDoubles) {
+  ::setenv("HDDM_TEST_DBL", "2.5e-3", 1);
+  EXPECT_DOUBLE_EQ(env_double("HDDM_TEST_DBL", 1.0), 2.5e-3);
+  ::setenv("HDDM_TEST_DBL", "", 1);
+  EXPECT_DOUBLE_EQ(env_double("HDDM_TEST_DBL", 1.0), 1.0);
+  ::unsetenv("HDDM_TEST_DBL");
+}
+
+TEST(Env, ParsesFlags) {
+  for (const char* truthy : {"1", "true", "on", "yes"}) {
+    ::setenv("HDDM_TEST_FLAG", truthy, 1);
+    EXPECT_TRUE(env_flag("HDDM_TEST_FLAG", false)) << truthy;
+  }
+  ::setenv("HDDM_TEST_FLAG", "0", 1);
+  EXPECT_FALSE(env_flag("HDDM_TEST_FLAG", true));
+  ::unsetenv("HDDM_TEST_FLAG");
+  EXPECT_TRUE(env_flag("HDDM_TEST_FLAG", true));
+}
+
+TEST(Log, ThresholdFiltersLevels) {
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::Error);
+  EXPECT_EQ(log_threshold(), LogLevel::Error);
+  // These must be no-ops (nothing observable to assert beyond not crashing,
+  // but the threshold readback verifies the switch).
+  log_debug("invisible");
+  log_info("invisible");
+  set_log_threshold(LogLevel::Off);
+  log_error("also invisible");
+  set_log_threshold(original);
+}
+
+TEST(Log, ConcurrentEmissionIsSafe) {
+  const LogLevel original = log_threshold();
+  set_log_threshold(LogLevel::Off);  // exercise the formatting path silently
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([t] {
+      for (int k = 0; k < 100; ++k) log_warn("thread ", t, " message ", k);
+    });
+  for (auto& th : threads) th.join();
+  set_log_threshold(original);
+}
+
+}  // namespace
+}  // namespace hddm::util

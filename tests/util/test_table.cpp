@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hddm::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"kernel", "time"});
+  t.add_row({"gold", "1.0"});
+  t.add_row({"x86", "0.25"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("kernel"), std::string::npos);
+  EXPECT_NE(s.find("gold"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW((void)t.to_string());
+  EXPECT_NO_THROW((void)t.to_csv());
+}
+
+TEST(Table, CsvHasHeaderLine) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Format, CountInsertsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(281077), "281,077");
+  EXPECT_EQ(fmt_count(4497232), "4,497,232");
+  EXPECT_EQ(fmt_count(-1234), "-1,234");
+}
+
+TEST(Format, SecondsPicksUnit) {
+  EXPECT_EQ(fmt_seconds(2.5), "2.500 s");
+  EXPECT_EQ(fmt_seconds(0.0042), "4.200 ms");
+  EXPECT_EQ(fmt_seconds(0.00000122), "1.220 us");
+}
+
+TEST(Format, DoubleSignificantDigits) {
+  EXPECT_EQ(fmt_double(3.14159, 3), "3.14");
+  EXPECT_EQ(fmt_double(0.000820, 3), "0.00082");
+}
+
+}  // namespace
+}  // namespace hddm::util
