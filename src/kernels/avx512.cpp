@@ -8,7 +8,6 @@
 //    memory flow" — a thread that never produced a contribution neither
 //    zeroes nor merges its partial buffer.
 #include <immintrin.h>
-#include <omp.h>
 
 #include <algorithm>
 #include <vector>
