@@ -12,9 +12,19 @@
 //   3. grid regime — small/deep (hash-friendly: few contributing nodes) vs.
 //      high-dimensional/shallow (compression-friendly: the paper's regime).
 //
+// Benchmarks register as ablation/d<d>_l<level>/<scheme>; the regime table
+// is a report formatter over the per-scheme medians.
+//
 // Environment: HDDM_ABL_SAMPLES (default 300).
 #include "bench_common.hpp"
 
+#include <cmath>
+#include <functional>
+#include <iterator>
+#include <limits>
+#include <optional>
+
+#include "benchlib/benchlib.hpp"
 #include "kernels/kernel_api.hpp"
 #include "sparse_grid/hash_backend.hpp"
 
@@ -22,72 +32,121 @@ namespace {
 
 using namespace hddm;
 
-struct Row {
-  const char* regime;
+constexpr int kNdofs = 16;
+
+struct Regime {
+  const char* name;
   int dim;
   int level;
 };
 
-double time_per_eval(const std::function<void(const double*)>& eval, int dim, int samples,
-                     util::Rng& rng) {
+constexpr Regime kRegimes[] = {
+    {"deep low-dim", 2, 9},
+    {"deep low-dim", 3, 7},
+    {"balanced", 6, 4},
+    {"paper regime", 30, 3},
+    {"paper regime", 59, 3},
+};
+constexpr const char* kSchemes[] = {"gold", "hash", "compressed", "compressed_noreorder"};
+
+int samples() { return static_cast<int>(util::env_long("HDDM_ABL_SAMPLES", 300)); }
+
+struct Fixture {
+  bench::TestGrid grid;
+  core::CompressedGridData unordered;
+  sg::HashGridEvaluator hash;
   std::vector<std::vector<double>> xs;
-  xs.reserve(static_cast<std::size_t>(samples));
-  for (int s = 0; s < samples; ++s) xs.push_back(rng.uniform_point(dim));
-  eval(xs.front().data());  // warm-up
-  const util::Timer timer;
-  for (const auto& x : xs) eval(x.data());
-  return timer.seconds() / samples;
+
+  explicit Fixture(const Regime& r)
+      : grid(bench::build_test_grid(r.dim, r.level, kNdofs, 7 + r.dim)),
+        unordered(core::compress(grid.dense, core::CompressOptions{.reorder_points = false})),
+        hash(grid.dense) {
+    util::Rng rng(r.dim * 131);
+    xs.reserve(static_cast<std::size_t>(samples()));
+    for (int s = 0; s < samples(); ++s) xs.push_back(rng.uniform_point(r.dim));
+  }
+};
+
+Fixture& fixture(int regime_idx) {
+  static std::optional<Fixture> cache[std::size(kRegimes)];
+  auto& slot = cache[regime_idx];
+  if (!slot.has_value()) slot.emplace(kRegimes[regime_idx]);
+  return *slot;
 }
 
-}  // namespace
+std::string bench_name(const Regime& r, const char* scheme) {
+  return "ablation/d" + std::to_string(r.dim) + "_l" + std::to_string(r.level) + "/" + scheme;
+}
 
-int main() {
-  const int samples = static_cast<int>(util::env_long("HDDM_ABL_SAMPLES", 300));
-  const int ndofs = 16;
+void run_scheme(benchlib::State& state, int regime_idx, const std::string& scheme) {
+  const Regime& r = kRegimes[regime_idx];
+  Fixture& fx = fixture(regime_idx);
 
+  std::function<void(const double*, double*)> eval;
+  std::unique_ptr<kernels::InterpolationKernel> kernel;
+  if (scheme == "gold") {
+    kernel = kernels::make_kernel(kernels::KernelKind::Gold, &fx.grid.dense, nullptr);
+  } else if (scheme == "compressed") {
+    kernel = kernels::make_kernel(kernels::KernelKind::X86, nullptr, &fx.grid.compressed);
+  } else if (scheme == "compressed_noreorder") {
+    kernel = kernels::make_kernel(kernels::KernelKind::X86, nullptr, &fx.unordered);
+  }
+  if (kernel != nullptr) {
+    eval = [&kernel](const double* x, double* v) { kernel->evaluate(x, v); };
+  } else {
+    eval = [&fx](const double* x, double* v) { fx.hash.evaluate(x, v); };
+  }
+
+  state.set_items_per_rep(static_cast<double>(fx.xs.size()));
+  state.set_dofs_per_rep(static_cast<double>(fx.xs.size()) * kNdofs);
+  state.info("regime", r.name);
+  state.info("points", static_cast<double>(fx.grid.dense.nno));
+
+  std::vector<double> value(static_cast<std::size_t>(kNdofs));
+  state.run([&] {
+    for (const auto& x : fx.xs) eval(x.data(), value.data());
+  });
+  benchlib::do_not_optimize(value.data());
+}
+
+int report_ablation(const benchlib::RunReport& report) {
   bench::print_header("Ablation: ASG storage schemes and surplus reordering");
-  std::printf("per-evaluation time, ndofs=%d, %d random points\n\n", ndofs, samples);
-
-  const std::vector<Row> rows = {
-      {"deep low-dim", 2, 9},
-      {"deep low-dim", 3, 7},
-      {"balanced", 6, 4},
-      {"paper regime", 30, 3},
-      {"paper regime", 59, 3},
-  };
+  std::printf("per-evaluation time, ndofs=%d, %d random points\n\n", kNdofs, samples());
 
   util::Table table({"regime", "d", "level", "points", "gold (dense)", "hash table",
                      "compressed", "compressed (no reorder)", "best scheme"});
 
-  for (const Row& row : rows) {
-    const bench::TestGrid grid = bench::build_test_grid(row.dim, row.level, ndofs, 7 + row.dim);
-    const core::CompressedGridData unordered =
-        core::compress(grid.dense, core::CompressOptions{.reorder_points = false});
-    const sg::HashGridEvaluator hash(grid.dense);
+  for (const Regime& r : kRegimes) {
+    double per_eval[std::size(kSchemes)];
+    const std::string* points = nullptr;
+    for (std::size_t s = 0; s < std::size(kSchemes); ++s) {
+      const benchlib::BenchResult* res = report.find_measured(bench_name(r, kSchemes[s]));
+      per_eval[s] = res != nullptr ? res->seconds_per_item()
+                                   : std::numeric_limits<double>::quiet_NaN();
+      if (res != nullptr && points == nullptr) points = res->find_info("points");
+    }
+    if (points == nullptr) continue;  // whole regime filtered out
 
-    const auto gold = kernels::make_kernel(kernels::KernelKind::Gold, &grid.dense, nullptr);
-    const auto x86 = kernels::make_kernel(kernels::KernelKind::X86, nullptr, &grid.compressed);
-    const auto x86u = kernels::make_kernel(kernels::KernelKind::X86, nullptr, &unordered);
+    // Best scheme among the *measured* candidates only (NaN = filtered out
+    // or skipped); "n/a" when fewer than two schemes ran.
+    const char* candidates[] = {"gold", "hash", "compressed"};
+    const char* best = "n/a";
+    double best_t = std::numeric_limits<double>::infinity();
+    int measured = 0;
+    for (int s = 0; s < 3; ++s) {
+      if (std::isnan(per_eval[s])) continue;
+      ++measured;
+      if (per_eval[s] < best_t) {
+        best_t = per_eval[s];
+        best = candidates[s];
+      }
+    }
+    if (measured < 2) best = "n/a";
 
-    util::Rng rng(row.dim * 131);
-    std::vector<double> value(static_cast<std::size_t>(ndofs));
-    const double t_gold = time_per_eval(
-        [&](const double* x) { gold->evaluate(x, value.data()); }, row.dim, samples, rng);
-    const double t_hash = time_per_eval(
-        [&](const double* x) { hash.evaluate(x, value.data()); }, row.dim, samples, rng);
-    const double t_comp = time_per_eval(
-        [&](const double* x) { x86->evaluate(x, value.data()); }, row.dim, samples, rng);
-    const double t_nore = time_per_eval(
-        [&](const double* x) { x86u->evaluate(x, value.data()); }, row.dim, samples, rng);
-
-    const char* best = "compressed";
-    if (t_hash < t_comp && t_hash < t_gold) best = "hash";
-    if (t_gold < t_comp && t_gold < t_hash) best = "gold";
-
-    table.add_row({row.regime, std::to_string(row.dim), std::to_string(row.level),
-                   util::fmt_count(grid.dense.nno), util::fmt_seconds(t_gold),
-                   util::fmt_seconds(t_hash), util::fmt_seconds(t_comp),
-                   util::fmt_seconds(t_nore), best});
+    auto fmt = [](double t) { return std::isnan(t) ? std::string("n/a") : util::fmt_seconds(t); };
+    table.add_row({r.name, std::to_string(r.dim), std::to_string(r.level),
+                   util::fmt_count(static_cast<long long>(std::stod(*points))), fmt(per_eval[0]),
+                   fmt(per_eval[1]), fmt(per_eval[2]), fmt(per_eval[3]), best});
   }
   bench::print_table(table);
 
@@ -100,4 +159,20 @@ int main() {
       "surplus-matrix permutation (expect parity on one-socket hosts with small\n"
       "grids; the effect grows with grid size and dofs).\n");
   return 0;
+}
+
+const bool registered = [] {
+  for (std::size_t k = 0; k < std::size(kRegimes); ++k)
+    for (const char* scheme : kSchemes)
+      benchlib::register_benchmark(
+          bench_name(kRegimes[k], scheme),
+          [k, scheme](benchlib::State& s) { run_scheme(s, static_cast<int>(k), scheme); });
+  benchlib::register_report(report_ablation);
+  return true;
+}();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hddm::benchlib::run_main(argc, argv, "bench_ablation_storage");
 }

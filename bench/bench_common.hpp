@@ -14,6 +14,22 @@
 
 namespace hddm::bench {
 
+/// Synthetic surplus in [-1, -0.1] u [0.1, 1] from exactly ONE rng draw.
+///
+/// Seed contract: every surplus entry consumes exactly one Rng state advance
+/// (next_u64), so the k-th surplus of a grid seeded with S is a pure function
+/// of (S, k) — independent of compiler, evaluation order, or any reordering
+/// of the surrounding expression. (The previous implementation drew twice —
+/// magnitude and sign — inside one expression, so the two draws' order, and
+/// with it every surplus, was unspecified behavior that could differ between
+/// compilers and silently change benchmark workloads.) The low bit decides
+/// the sign; the top 53 bits map to the magnitude in [0.1, 1).
+inline double random_surplus(util::Rng& rng) {
+  const std::uint64_t bits = rng.next_u64();
+  const double magnitude = 0.1 + 0.9 * static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return (bits & 1u) ? -magnitude : magnitude;
+}
+
 /// Builds the dense + compressed representations of a regular d-dimensional
 /// sparse grid with synthetic (random, nonzero) surpluses — the setup of the
 /// paper's interpolation test cases (Table I). Timing does not depend on
@@ -30,7 +46,7 @@ inline TestGrid build_test_grid(int dim, int level, int ndofs, std::uint64_t see
   TestGrid out;
   out.dense = sg::make_dense_grid(storage, ndofs);
   util::Rng rng(seed);
-  for (auto& s : out.dense.surplus) s = rng.uniform(0.1, 1.0) * (rng.uniform() < 0.5 ? -1 : 1);
+  for (auto& s : out.dense.surplus) s = random_surplus(rng);
   out.compressed = core::compress(out.dense);
   return out;
 }

@@ -9,6 +9,9 @@
 // thread scaling is bounded by the available cores; the node models then map
 // the measured interpolation fraction onto the paper's hardware.
 //
+// Benchmarks register as fig7/step/<variant>; the Fig. 7 table and node
+// models are report formatters over the step-time medians.
+//
 // Environment:
 //   HDDM_FIG7_AGES    OLG lifetime A (default 9 -> d=8)
 //   HDDM_FIG7_NPROD   productivity states (default 2)
@@ -17,6 +20,7 @@
 
 #include <thread>
 
+#include "benchlib/benchlib.hpp"
 #include "cluster/node_model.hpp"
 #include "core/time_iteration.hpp"
 #include "olg/olg_model.hpp"
@@ -25,82 +29,91 @@ namespace {
 
 using namespace hddm;
 
-double run_step(const olg::OlgModel& model, std::size_t threads, bool device,
-                core::IterationStats& stats) {
+const olg::OlgModel& model() {
+  static const olg::OlgModel m = [] {
+    const int ages = static_cast<int>(util::env_long("HDDM_FIG7_AGES", 9));
+    const auto nprod = static_cast<std::size_t>(util::env_long("HDDM_FIG7_NPROD", 2));
+    const auto ntax = static_cast<std::size_t>(util::env_long("HDDM_FIG7_NTAX", 2));
+    return olg::OlgModel(olg::build_economy(olg::reduced_calibration(ages, nprod, ntax)));
+  }();
+  return m;
+}
+
+unsigned hw_threads() { return std::max(1u, std::thread::hardware_concurrency()); }
+
+std::vector<std::size_t> thread_counts() {
+  const unsigned hw = hw_threads();
+  std::vector<std::size_t> counts{1};
+  if (hw >= 2) counts.push_back(2);
+  if (hw >= 4) counts.push_back(4);
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
+
+std::string variant_name(std::size_t threads, bool device) {
+  if (device) return "hybrid";
+  return std::to_string(threads) + "t";
+}
+
+/// One benchmark: a single measured time step at the given configuration.
+/// The warm-up step (building the first ASG policy) is untimed setup; each
+/// rep then re-runs the same step from the same warm policy.
+void run_step_bench(benchlib::State& state, std::size_t threads, bool device) {
   core::TimeIterationOptions opts;
   opts.base_level = 2;  // "the first two sparse grid levels" (Sec. V-B)
   opts.threads = threads;
   opts.use_device = device;
-  core::TimeIterationDriver driver(model, opts);
+  core::TimeIterationDriver driver(model(), opts);
 
-  const core::InitialPolicyEvaluator initial(model);
-  // Warm-up step builds the first ASG policy; the measured step then
-  // interpolates on real grids (where the device can participate).
+  const core::InitialPolicyEvaluator initial(model());
   core::IterationStats warm_stats;
   const auto policy = driver.step(initial, warm_stats);
 
-  stats = core::IterationStats{};
-  const util::Timer timer;
-  const auto next = driver.step(*policy, stats);
-  (void)next;
-  return timer.seconds();
+  core::IterationStats stats;
+  state.run([&] {
+    stats = core::IterationStats{};
+    const auto next = driver.step(*policy, stats);
+    benchlib::do_not_optimize(next.get());
+  });
+
+  state.set_items_per_rep(static_cast<double>(stats.interpolations));
+  state.info("threads", static_cast<double>(threads));
+  state.info("device", device ? "1" : "0");
+  state.info("interpolations", static_cast<double>(stats.interpolations));
 }
 
-}  // namespace
-
-int main() {
-  const int ages = static_cast<int>(util::env_long("HDDM_FIG7_AGES", 9));
-  const auto nprod = static_cast<std::size_t>(util::env_long("HDDM_FIG7_NPROD", 2));
-  const auto ntax = static_cast<std::size_t>(util::env_long("HDDM_FIG7_NTAX", 2));
-
+int report_fig7(const benchlib::RunReport& report) {
   bench::print_header("Fig. 7: single-node performance of the OLG time step");
-
-  const olg::OlgModel model(olg::build_economy(olg::reduced_calibration(ages, nprod, ntax)));
-  const int d = model.state_dim();
+  const int d = model().state_dim();
   const auto points =
-      static_cast<long long>(model.num_shocks()) * static_cast<long long>(2 * d + 1);
-  std::printf("instance: A=%d (d=%d), Ns=%d; level-2 step = %s points, %s unknowns\n", ages, d,
-              model.num_shocks(), util::fmt_count(points).c_str(),
+      static_cast<long long>(model().num_shocks()) * static_cast<long long>(2 * d + 1);
+  std::printf("instance: d=%d, Ns=%d; level-2 step = %s points, %s unknowns\n", d,
+              model().num_shocks(), util::fmt_count(points).c_str(),
               util::fmt_count(points * d).c_str());
   std::printf("paper instance: A=60 (d=59), Ns=16; 16*119 = 1,904 points, 112,336 unknowns\n");
 
-  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<std::size_t> thread_counts{1};
-  if (hw >= 2) thread_counts.push_back(2);
-  if (hw >= 4) thread_counts.push_back(4);
-  if (hw > 4) thread_counts.push_back(hw);
+  const benchlib::BenchResult* base = report.find_measured("fig7/step/1t");
+  const double t1 = base != nullptr ? base->median() : 0.0;
 
   util::Table table({"variant", "wall time", "speedup vs 1 thread", "interpolations"});
-  double t1 = 0.0;
-  for (const std::size_t threads : thread_counts) {
-    core::IterationStats stats;
-    const double secs = run_step(model, threads, false, stats);
-    if (threads == 1) t1 = secs;
-    table.add_row({std::to_string(threads) + " thread(s)", util::fmt_seconds(secs),
-                   util::fmt_double(t1 / secs, 3), util::fmt_count(static_cast<long long>(stats.interpolations))});
-  }
-  {
-    core::IterationStats stats;
-    const double secs = run_step(model, hw, true, stats);
-    table.add_row({"hybrid CPU+device(sim)", util::fmt_seconds(secs),
-                   util::fmt_double(t1 / secs, 3),
-                   util::fmt_count(static_cast<long long>(stats.interpolations))});
-  }
+  auto add_variant = [&](const std::string& name, const std::string& label) {
+    const benchlib::BenchResult* r = report.find_measured("fig7/step/" + name);
+    if (r == nullptr) return;
+    const std::string* interp = r->find_info("interpolations");
+    table.add_row({label, util::fmt_seconds(r->median()),
+                   t1 > 0 ? util::fmt_double(t1 / r->median(), 3) : "n/a",
+                   interp != nullptr
+                       ? util::fmt_count(static_cast<long long>(std::stod(*interp)))
+                       : "n/a"});
+  };
+  for (const std::size_t threads : thread_counts())
+    add_variant(variant_name(threads, false), std::to_string(threads) + " thread(s)");
+  add_variant("hybrid", "hybrid CPU+device(sim)");
   bench::print_table(table);
   std::printf("(This host has %u hardware thread(s); thread-scaling beyond that is shown by\n"
               " the node models below, as the cluster hardware is unavailable — DESIGN.md.)\n",
-              hw);
+              hw_threads());
 
-  // Interpolation fraction measured from a single-thread step.
-  core::IterationStats stats;
-  core::TimeIterationOptions opts;
-  opts.base_level = 2;
-  opts.threads = 1;
-  core::TimeIterationDriver driver(model, opts);
-  const core::InitialPolicyEvaluator initial(model);
-  const auto policy = driver.step(initial, stats);
-  core::IterationStats measured;
-  (void)driver.step(*policy, measured);
   // Rough attribution: interpolation time is the solve-phase share spent in
   // p_next evaluations; the paper cites "up to 99%". We report the solver's
   // own accounting.
@@ -129,4 +142,21 @@ int main() {
   bench::print_table(nodes);
   std::printf("paper baseline runtime for this step: 2,243 s on one Piz Daint CPU thread\n");
   return 0;
+}
+
+const bool registered = [] {
+  for (const std::size_t threads : thread_counts())
+    benchlib::register_benchmark("fig7/step/" + variant_name(threads, false),
+                                 [threads](benchlib::State& s) { run_step_bench(s, threads, false); });
+  benchlib::register_benchmark("fig7/step/hybrid", [](benchlib::State& s) {
+    run_step_bench(s, hw_threads(), true);
+  });
+  benchlib::register_report(report_fig7);
+  return true;
+}();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hddm::benchlib::run_main(argc, argv, "bench_fig7_single_node");
 }

@@ -15,21 +15,21 @@
 // convergent [26]), errors fall monotonically with invested node-time, and
 // each epsilon stage adds points per state.
 //
-// Environment:
-// Error metrics: the primary L2/Linf curves are the successive-policy-change
-// norms (the paper terminates "once the average error dropped below ... 0.1
-// percent", its convergence criterion). The table also reports the mean
-// Euler-equation error along a stochastic simulation (ergodic set) as an
-// accuracy diagnostic; that metric floors at the curvature bias of
-// off-grid multilinear interpolation and falls with grid *resolution*
-// rather than with iterations (see EXPERIMENTS.md).
+// The whole epsilon schedule registers as ONE benchlib benchmark
+// (fig9/convergence, fixed at 1 rep — the run is algorithmic, not a timing
+// loop); per-iteration rows are recorded during the run and formatted by the
+// report. Error metrics: the primary L2/Linf curves are the
+// successive-policy-change norms (the paper's convergence criterion); the
+// table also reports the mean Euler-equation error along a stochastic
+// simulation (ergodic set), which floors at the curvature bias of off-grid
+// multilinear interpolation (see EXPERIMENTS.md).
 //
 // Environment:
 //   HDDM_FIG9_AGES     lifetime A (default 5)
 //   HDDM_FIG9_NPROD    productivity states (default 2)
 //   HDDM_FIG9_NTAX     tax regimes (default 2)
 //   HDDM_FIG9_ITERS    max iterations per epsilon stage (default 25)
-//   HDDM_FIG9_TARGET   terminate when the Linf policy change drops below
+//   HDDM_FIG9_TARGET   terminate when the L2 policy change drops below
 //                      this (default 1e-3 — the paper's 0.1%)
 //   HDDM_FIG9_BUDGET   wall-clock budget in seconds (default 150); the
 //                      schedule stops cleanly when exceeded
@@ -37,6 +37,7 @@
 
 #include <memory>
 
+#include "benchlib/benchlib.hpp"
 #include "core/time_iteration.hpp"
 #include "olg/olg_model.hpp"
 #include "olg/simulate.hpp"
@@ -49,7 +50,7 @@ using namespace hddm;
 /// The paper's accuracy measure: average Euler error along a stochastic
 /// simulation of the economy (the ergodic set) under the current policy.
 double sampled_euler_error(const olg::OlgModel& model, const core::PolicyEvaluator& policy,
-                           std::uint64_t seed) {
+                          std::uint64_t seed) {
   olg::SimulationOptions opts;
   opts.periods = 120;
   opts.burn_in = 20;
@@ -57,23 +58,44 @@ double sampled_euler_error(const olg::OlgModel& model, const core::PolicyEvaluat
   return olg::simulate_economy(model, policy, opts).euler_error.mean();
 }
 
-}  // namespace
+struct IterationRow {
+  int iter;
+  double eps;
+  double node_hours;
+  double l2_change;
+  double linf_change;
+  double euler_error;
+  std::uint64_t points_per_state;
+  std::uint32_t min_points;
+  std::uint32_t max_points;
+};
 
-int main() {
+struct ConvergenceRun {
+  std::vector<IterationRow> rows;
+  bool reached_target = false;
+  bool budget_exhausted = false;
+  double target = 0.0;
+  double budget_seconds = 0.0;
+  double final_error = 1.0;
+  int state_dim = 0;
+  int num_shocks = 0;
+};
+ConvergenceRun g_run;
+
+void run_convergence(benchlib::State& state) {
   const int ages = static_cast<int>(util::env_long("HDDM_FIG9_AGES", 5));
   const auto nprod = static_cast<std::size_t>(util::env_long("HDDM_FIG9_NPROD", 2));
   const auto ntax = static_cast<std::size_t>(util::env_long("HDDM_FIG9_NTAX", 2));
   const int iters_per_stage = static_cast<int>(util::env_long("HDDM_FIG9_ITERS", 25));
   const double target = util::env_double("HDDM_FIG9_TARGET", 1e-3);
   const double budget_seconds = util::env_double("HDDM_FIG9_BUDGET", 150.0);
-  const util::Timer wall;
 
-  bench::print_header("Fig. 9: time-iteration convergence (adaptive sparse grids)");
   const olg::OlgModel model(olg::build_economy(olg::reduced_calibration(ages, nprod, ntax)));
-  std::printf("instance: A=%d (d=%d), Ns=%d; epsilon/level schedule per footnote 12\n", ages,
-              model.state_dim(), model.num_shocks());
-  std::printf("paper instance: d=59, Ns=16, terminated at 0.1%% avg error with ~73,874\n"
-              "points/state (min 69,026 in z=6, max 76,645 in z=1)\n\n");
+  g_run = ConvergenceRun{};
+  g_run.target = target;
+  g_run.budget_seconds = budget_seconds;
+  g_run.state_dim = model.state_dim();
+  g_run.num_shocks = model.num_shocks();
 
   // Each stage lowers epsilon and raises the level cap: the paper fixes
   // Lmax = 6, which in d = 59 is far beyond reach (the full level-6 grid has
@@ -85,79 +107,106 @@ int main() {
   };
   const std::vector<Stage> schedule{{1e-1, 6}, {3e-2, 7}, {1e-2, 8}, {3e-3, 9}, {1e-3, 10}};
 
-  util::Table table({"iter", "eps", "node-hours", "L2 change", "Linf change", "Euler error",
-                     "points/state", "min..max"});
+  state.run([&] {
+    const util::Timer wall;
+    double cumulative_seconds = 0.0;
+    int global_iter = 0;
 
-  double cumulative_seconds = 0.0;
-  int global_iter = 0;
-  double final_error = 1.0;
-  bool reached_target = false;
+    const core::InitialPolicyEvaluator initial(model);
+    const core::PolicyEvaluator* p_next = &initial;
+    std::shared_ptr<core::AsgPolicy> current;
 
-  // The evolving policy: starts from the model's analytic guess.
-  const core::InitialPolicyEvaluator initial(model);
-  const core::PolicyEvaluator* p_next = &initial;
-  std::shared_ptr<core::AsgPolicy> current;
+    for (const auto& [eps, lmax] : schedule) {
+      core::TimeIterationOptions opts;
+      opts.base_level = 2;
+      opts.refine_epsilon = eps;
+      opts.max_level = lmax;
+      opts.threads = 1;
+      core::TimeIterationDriver driver(model, opts);
 
-  for (const auto& [eps, lmax] : schedule) {
-    core::TimeIterationOptions opts;
-    opts.base_level = 2;
-    opts.refine_epsilon = eps;
-    opts.max_level = lmax;
-    opts.threads = 1;
-    core::TimeIterationDriver driver(model, opts);
+      double best_change = 1e300;
+      int stall = 0;
+      for (int it = 0; it < iters_per_stage; ++it) {
+        core::IterationStats stats;
+        stats.iteration = global_iter;
+        std::shared_ptr<core::AsgPolicy> next = driver.step(*p_next, stats);
+        cumulative_seconds += stats.seconds;
 
-    double best_change = 1e300;
-    int stall = 0;
-    for (int it = 0; it < iters_per_stage; ++it) {
-      core::IterationStats stats;
-      stats.iteration = global_iter;
-      std::shared_ptr<core::AsgPolicy> next = driver.step(*p_next, stats);
-      cumulative_seconds += stats.seconds;
+        const double err = sampled_euler_error(model, *next, 2718);
+        g_run.final_error = err;
 
-      const double err = sampled_euler_error(model, *next, 2718);
-      final_error = err;
+        std::uint32_t mn = UINT32_MAX, mx = 0;
+        for (const auto p : stats.points_per_shock) {
+          mn = std::min(mn, p);
+          mx = std::max(mx, p);
+        }
+        g_run.rows.push_back({global_iter, eps, cumulative_seconds / 3600.0,
+                              stats.policy_change_l2, stats.policy_change_linf, err,
+                              stats.total_points / stats.points_per_shock.size(), mn, mx});
 
-      std::uint32_t mn = UINT32_MAX, mx = 0;
-      for (const auto p : stats.points_per_shock) {
-        mn = std::min(mn, p);
-        mx = std::max(mx, p);
+        current = std::move(next);
+        p_next = current.get();
+        ++global_iter;
+
+        // Stage termination: policy change stopped improving at this epsilon.
+        if (it > 0 && stats.policy_change_linf < 0.5 * best_change) stall = 0;
+        best_change = std::min(best_change, stats.policy_change_linf);
+        if (it > 0 && stats.policy_change_linf > 0.9 * best_change) {
+          if (++stall >= 2) break;
+        }
+        // The paper's criterion is on the *average* error — the L2/RMS change.
+        if (stats.policy_change_l2 < target && it > 1) {
+          g_run.reached_target = true;
+          break;
+        }
+        if (wall.seconds() > budget_seconds) break;
       }
-      table.add_row({std::to_string(global_iter), util::fmt_double(eps, 2),
-                     util::fmt_double(cumulative_seconds / 3600.0, 4),
-                     util::fmt_double(stats.policy_change_l2, 4),
-                     util::fmt_double(stats.policy_change_linf, 4), util::fmt_double(err, 4),
-                     util::fmt_count(stats.total_points / stats.points_per_shock.size()),
-                     util::fmt_count(mn) + ".." + util::fmt_count(mx)});
-
-      current = std::move(next);
-      p_next = current.get();
-      ++global_iter;
-
-      // Stage termination: policy change stopped improving at this epsilon.
-      if (it > 0 && stats.policy_change_linf < 0.5 * best_change) stall = 0;
-      best_change = std::min(best_change, stats.policy_change_linf);
-      if (it > 0 && stats.policy_change_linf > 0.9 * best_change) {
-        if (++stall >= 2) break;
-      }
-      // The paper's criterion is on the *average* error — the L2/RMS change.
-      if (stats.policy_change_l2 < target && it > 1) {
-        reached_target = true;
+      if (g_run.reached_target || wall.seconds() > budget_seconds) {
+        g_run.budget_exhausted = !g_run.reached_target && wall.seconds() > budget_seconds;
         break;
       }
-      if (wall.seconds() > budget_seconds) break;
     }
-    if (reached_target || wall.seconds() > budget_seconds) break;
+  });
+
+  state.set_items_per_rep(static_cast<double>(g_run.rows.size()));  // items == iterations
+  state.info("iterations", static_cast<double>(g_run.rows.size()));
+  state.info("reached_target", g_run.reached_target ? "1" : "0");
+  state.info("final_euler_error", g_run.final_error);
+  if (!g_run.rows.empty()) {
+    state.info("final_l2_change", g_run.rows.back().l2_change);
+    state.info("final_points_per_state", static_cast<double>(g_run.rows.back().points_per_state));
   }
-  if (!reached_target && wall.seconds() > budget_seconds)
+}
+
+int report_fig9(const benchlib::RunReport& report) {
+  if (report.find_measured("fig9/convergence") == nullptr) return 0;
+
+  bench::print_header("Fig. 9: time-iteration convergence (adaptive sparse grids)");
+  std::printf("instance: d=%d, Ns=%d; epsilon/level schedule per footnote 12\n", g_run.state_dim,
+              g_run.num_shocks);
+  std::printf("paper instance: d=59, Ns=16, terminated at 0.1%% avg error with ~73,874\n"
+              "points/state (min 69,026 in z=6, max 76,645 in z=1)\n\n");
+
+  if (g_run.budget_exhausted)
     std::printf("[fig9] wall-clock budget (%.0f s) exhausted — raise HDDM_FIG9_BUDGET to run\n"
                 "       the deeper epsilon stages to the 0.1%% target\n",
-                budget_seconds);
+                g_run.budget_seconds);
 
+  util::Table table({"iter", "eps", "node-hours", "L2 change", "Linf change", "Euler error",
+                     "points/state", "min..max"});
+  for (const IterationRow& r : g_run.rows) {
+    table.add_row({std::to_string(r.iter), util::fmt_double(r.eps, 2),
+                   util::fmt_double(r.node_hours, 4), util::fmt_double(r.l2_change, 4),
+                   util::fmt_double(r.linf_change, 4), util::fmt_double(r.euler_error, 4),
+                   util::fmt_count(static_cast<long long>(r.points_per_state)),
+                   util::fmt_count(r.min_points) + ".." + util::fmt_count(r.max_points)});
+  }
   bench::print_table(table);
+
   std::printf("\naverage (L2) policy-change target %.0e (the paper's 0.1%% criterion): %s\n",
-              target, reached_target ? "reached" : "not reached in budget");
+              g_run.target, g_run.reached_target ? "reached" : "not reached in budget");
   std::printf("final simulated-path Euler error: %.3e (resolution-limited diagnostic)\n",
-              final_error);
+              g_run.final_error);
 
   // Shape checks mirroring the paper's reading of Fig. 9.
   std::printf("shape checks: errors fall with node-hours (left panel) and roughly\n"
@@ -165,4 +214,19 @@ int main() {
               "and lowers the attainable error. Time iteration has at best a linear rate\n"
               "in iterations [26], which the Linf-change column exhibits.\n");
   return 0;
+}
+
+const bool registered = [] {
+  // The convergence schedule is a single algorithmic run: always 1 rep, no
+  // warmup, regardless of --reps (benchlib fixed_reps).
+  benchlib::register_benchmark("fig9/convergence", run_convergence,
+                               benchlib::BenchOptions{.fixed_reps = 1});
+  benchlib::register_report(report_fig9);
+  return true;
+}();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hddm::benchlib::run_main(argc, argv, "bench_fig9_convergence");
 }

@@ -5,11 +5,18 @@
 //
 // Every state's regular grid is identical in structure, so one grid per test
 // case suffices to reproduce the per-state columns. Paper values are printed
-// alongside for direct comparison.
+// alongside for direct comparison; a mismatch fails the run.
+//
+// Benchmarks register as table1/build/{7k,300k} (grid construction +
+// compression throughput in points/s); the Table I formatter and the
+// paper-value check run as a report over the collected results.
 //
 // Environment: HDDM_TABLE1_FULL=0 skips the level-4 (281,077-point) case.
 #include "bench_common.hpp"
 
+#include <optional>
+
+#include "benchlib/benchlib.hpp"
 #include "sparse_grid/regular.hpp"
 #include "util/table.hpp"
 
@@ -24,47 +31,99 @@ struct Case {
   std::uint64_t paper_xps;
 };
 
-}  // namespace
+constexpr Case kCases[] = {{"7k", 3, 7081, 237}, {"300k", 4, 281077, 473}};
+constexpr int kDim = 59;
+constexpr int kNStates = 16;
 
-int main() {
+/// Metadata of the last grid built per case, read back by the report.
+struct BuiltInfo {
+  std::uint32_t nno = 0;
+  std::size_t xps = 0;
+  int nfreq = 0;
+  double xi_zero_fraction = 0.0;
+  std::size_t compressed_bytes = 0;
+  std::size_t dense_bytes = 0;
+};
+std::optional<BuiltInfo> g_built[2];
+
+void run_build_case(benchlib::State& state, int case_idx) {
+  const Case& c = kCases[case_idx];
+  if (c.level == 4 && util::env_long("HDDM_TABLE1_FULL", 1) == 0) {
+    state.skip("disabled by HDDM_TABLE1_FULL=0");
+    return;
+  }
+
+  bench::TestGrid grid;
+  state.run([&] { grid = bench::build_test_grid(kDim, c.level, 1, 0xA11CE); });
+
+  BuiltInfo info;
+  info.nno = grid.dense.nno;
+  info.xps = grid.compressed.xps_size();
+  info.nfreq = grid.compressed.nfreq;
+  info.xi_zero_fraction = grid.compressed.stats.xi_zero_fraction;
+  info.compressed_bytes = grid.compressed.stats.compressed_bytes;
+  info.dense_bytes = grid.compressed.stats.dense_bytes;
+  g_built[case_idx] = info;
+
+  state.set_items_per_rep(static_cast<double>(grid.dense.nno));  // points built per rep
+  state.set_bytes_per_rep(static_cast<double>(info.dense_bytes));
+  state.info("nno", static_cast<double>(info.nno));
+  state.info("xps", static_cast<double>(info.xps));
+  state.info("nfreq", static_cast<double>(info.nfreq));
+}
+
+int report_table1(const benchlib::RunReport& report) {
   bench::print_header("Table I: interpolation test cases (d=59, 16 states)");
-
-  const bool full = util::env_long("HDDM_TABLE1_FULL", 1) != 0;
-  const int dim = 59;
-  const int nstates = 16;
-
-  std::vector<Case> cases = {{"7k", 3, 7081, 237}};
-  if (full) cases.push_back({"300k", 4, 281077, 473});
-
   util::Table table({"test", "d", "nno (built)", "nno (paper)", "level", "# states",
                      "xps/state (built)", "xps/state (paper)", "nfreq", "Xi zeros"});
 
-  for (const Case& c : cases) {
-    const util::Timer timer;
-    const bench::TestGrid grid = bench::build_test_grid(dim, c.level, 1, 0xA11CE);
-    const double secs = timer.seconds();
+  int mismatches = 0;
+  for (int k = 0; k < 2; ++k) {
+    const Case& c = kCases[k];
+    if (!g_built[k].has_value()) continue;  // skipped or filtered out
+    const BuiltInfo& b = *g_built[k];
 
-    table.add_row({c.name, std::to_string(dim), util::fmt_count(grid.dense.nno),
+    table.add_row({c.name, std::to_string(kDim), util::fmt_count(b.nno),
                    util::fmt_count(static_cast<long long>(c.paper_nno)), std::to_string(c.level),
-                   std::to_string(nstates), util::fmt_count(static_cast<long long>(grid.compressed.xps_size())),
+                   std::to_string(kNStates), util::fmt_count(static_cast<long long>(b.xps)),
                    util::fmt_count(static_cast<long long>(c.paper_xps)),
-                   std::to_string(grid.compressed.nfreq),
-                   util::fmt_double(100.0 * grid.compressed.stats.xi_zero_fraction, 4) + "%"});
+                   std::to_string(b.nfreq),
+                   util::fmt_double(100.0 * b.xi_zero_fraction, 4) + "%"});
 
-    std::printf("[table1] built %s grid in %s (compressed index %zu B vs dense %zu B)\n", c.name,
-                util::fmt_seconds(secs).c_str(), grid.compressed.stats.compressed_bytes,
-                grid.compressed.stats.dense_bytes);
+    const std::string bench_name = std::string("table1/build/") + c.name;
+    if (const benchlib::BenchResult* r = report.find_measured(bench_name)) {
+      std::printf("[table1] built %s grid in %s (compressed index %zu B vs dense %zu B)\n",
+                  c.name, util::fmt_seconds(r->median()).c_str(), b.compressed_bytes,
+                  b.dense_bytes);
+    }
 
-    if (grid.dense.nno != c.paper_nno || grid.compressed.xps_size() != c.paper_xps) {
+    if (b.nno != c.paper_nno || b.xps != c.paper_xps) {
       std::printf("[table1] MISMATCH against paper values!\n");
-      return 1;
+      ++mismatches;
     }
   }
-
   bench::print_table(table);
-  std::printf("\nAll grid sizes and xps counts match Table I exactly.\n");
-  std::printf("(Counts are per discrete state; the paper's 16 states use 16 structurally\n"
-              " identical regular grids, 16 x 281,077 = %s points total for the \"300k\" case.)\n",
-              util::fmt_count(16LL * 281077LL).c_str());
-  return 0;
+
+  if (mismatches == 0) {
+    std::printf("\nAll built grid sizes and xps counts match Table I exactly.\n");
+    std::printf("(Counts are per discrete state; the paper's 16 states use 16 structurally\n"
+                " identical regular grids, 16 x 281,077 = %s points total for the \"300k\" case.)\n",
+                util::fmt_count(16LL * 281077LL).c_str());
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
+const bool registered = [] {
+  benchlib::register_benchmark("table1/build/7k",
+                               [](benchlib::State& s) { run_build_case(s, 0); });
+  benchlib::register_benchmark("table1/build/300k",
+                               [](benchlib::State& s) { run_build_case(s, 1); });
+  benchlib::register_report(report_table1);
+  return true;
+}();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return hddm::benchlib::run_main(argc, argv, "bench_table1_testcases");
 }

@@ -10,6 +10,10 @@
 // AVX ~= AVX2 ~= x86 (memory-bound), the wide-vector kernels pulling ahead
 // only on the large case.
 //
+// Benchmarks register as table2/{7k,300k}/<kernel> on the benchlib harness
+// (--filter/--reps/--json, see --help); the paper tables are report
+// formatters over the collected samples.
+//
 // Environment:
 //   HDDM_TABLE2_DIM      state dimension (default 59)
 //   HDDM_TABLE2_NDOFS    dofs per point  (default 118)
@@ -18,6 +22,10 @@
 //   HDDM_TABLE2_FULL     0 skips the 300k case (default 1)
 #include "bench_common.hpp"
 
+#include <cmath>
+#include <limits>
+
+#include "benchlib/benchlib.hpp"
 #include "kernels/kernel_api.hpp"
 #include "simgpu/perf_model.hpp"
 
@@ -44,100 +52,120 @@ PaperRow paper_row(kernels::KernelKind kind) {
   return {0, 0};
 }
 
-struct CaseResult {
-  std::vector<double> seconds;  // per kernel kind, NaN when unsupported
-  double active_fraction = 0.0;
+int dim() { return static_cast<int>(util::env_long("HDDM_TABLE2_DIM", 59)); }
+int ndofs() { return static_cast<int>(util::env_long("HDDM_TABLE2_NDOFS", 118)); }
+bool full() { return util::env_long("HDDM_TABLE2_FULL", 1) != 0; }
+
+struct CaseData {
+  bench::TestGrid grid;
+  std::vector<std::vector<double>> xs;  // random evaluation points
+  double active_fraction = 0.0;         // for the GPU perf model
 };
 
-CaseResult run_case(const bench::TestGrid& grid, int dim, int samples, std::uint64_t seed) {
-  CaseResult out;
-  util::Rng rng(seed);
-  std::vector<std::vector<double>> xs;
-  xs.reserve(static_cast<std::size_t>(samples));
-  for (int s = 0; s < samples; ++s) xs.push_back(rng.uniform_point(dim));
-
-  std::vector<double> value(static_cast<std::size_t>(grid.dense.ndofs));
-  std::vector<double> sink(value.size(), 0.0);
-
-  for (const kernels::KernelKind kind : kernels::kAllKernelKinds) {
-    if (!kernels::kernel_supported(kind)) {
-      out.seconds.push_back(std::numeric_limits<double>::quiet_NaN());
-      continue;
-    }
-    const auto kernel = kernels::make_kernel(kind, &grid.dense, &grid.compressed);
-    // Warm-up (page in the surplus matrix, size thread-local scratch).
-    kernel->evaluate(xs.front().data(), value.data());
-
-    const util::Timer timer;
-    for (const auto& x : xs) {
-      kernel->evaluate(x.data(), value.data());
-      for (std::size_t k = 0; k < value.size(); ++k) sink[k] += value[k];
-    }
-    out.seconds.push_back(timer.seconds() / samples);
-  }
-  // Keep the sink alive.
-  double checksum = 0.0;
-  for (const double v : sink) checksum += v;
-  if (checksum == 12345.6789) std::printf("(unlikely)\n");
+CaseData build_case(int level, int samples, std::uint64_t grid_seed, std::uint64_t point_seed) {
+  CaseData c;
+  c.grid = bench::build_test_grid(dim(), level, ndofs(), grid_seed);
+  util::Rng rng(point_seed);
+  c.xs.reserve(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) c.xs.push_back(rng.uniform_point(dim()));
 
   // Active-point fraction for the perf model: count points whose chain
   // product is nonzero at a random sample.
-  {
-    std::vector<double> xpv(grid.compressed.xps.size(), 1.0);
-    const auto& c = grid.compressed;
-    const auto& x = xs.front();
-    for (std::size_t k = 1; k < c.xps.size(); ++k)
-      xpv[k] = sg::hat_value({c.xps[k].l, c.xps[k].i}, x[c.xps[k].j]);
-    std::uint64_t active = 0;
-    for (std::uint32_t p = 0; p < c.nno; ++p) {
-      const std::uint32_t* chain = c.chain_row(p);
-      double temp = 1.0;
-      for (int f = 0; f < c.nfreq && chain[f]; ++f) temp *= xpv[chain[f]];
-      active += (temp != 0.0);
-    }
-    out.active_fraction = c.nno ? static_cast<double>(active) / c.nno : 0.0;
+  const auto& comp = c.grid.compressed;
+  std::vector<double> xpv(comp.xps.size(), 1.0);
+  const auto& x = c.xs.front();
+  for (std::size_t k = 1; k < comp.xps.size(); ++k)
+    xpv[k] = sg::hat_value({comp.xps[k].l, comp.xps[k].i}, x[comp.xps[k].j]);
+  std::uint64_t active = 0;
+  for (std::uint32_t p = 0; p < comp.nno; ++p) {
+    const std::uint32_t* chain = comp.chain_row(p);
+    double temp = 1.0;
+    for (int f = 0; f < comp.nfreq && chain[f]; ++f) temp *= xpv[chain[f]];
+    active += (temp != 0.0);
   }
-  return out;
+  c.active_fraction = comp.nno ? static_cast<double>(active) / comp.nno : 0.0;
+  return c;
 }
 
-}  // namespace
+CaseData& case_7k() {
+  static CaseData c = [] {
+    const int samples = static_cast<int>(util::env_long("HDDM_TABLE2_S7K", 200));
+    std::printf("[table2] building level-3 grid...\n");
+    return build_case(3, samples, 7, 1001);
+  }();
+  return c;
+}
 
-int main() {
-  const int dim = static_cast<int>(util::env_long("HDDM_TABLE2_DIM", 59));
-  const int ndofs = static_cast<int>(util::env_long("HDDM_TABLE2_NDOFS", 118));
-  const int s7k = static_cast<int>(util::env_long("HDDM_TABLE2_S7K", 200));
-  const int s300k = static_cast<int>(util::env_long("HDDM_TABLE2_S300K", 20));
-  const bool full = util::env_long("HDDM_TABLE2_FULL", 1) != 0;
-
-  bench::print_header("Table II: interpolation kernel runtimes (time per evaluation)");
-  std::printf("dim=%d ndofs=%d samples: 7k-case=%d 300k-case=%d\n", dim, ndofs, s7k, s300k);
-
-  std::printf("[table2] building level-3 grid...\n");
-  const bench::TestGrid g7k = bench::build_test_grid(dim, 3, ndofs, 7);
-  const CaseResult r7k = run_case(g7k, dim, s7k, 1001);
-
-  CaseResult r300k;
-  std::uint32_t nno300k = 0;
-  if (full) {
+CaseData& case_300k() {
+  static CaseData c = [] {
+    const int samples = static_cast<int>(util::env_long("HDDM_TABLE2_S300K", 20));
     std::printf("[table2] building level-4 grid (281,077 points at d=59; ~0.5 GB)...\n");
-    const bench::TestGrid g300k = bench::build_test_grid(dim, 4, ndofs, 8);
-    nno300k = g300k.dense.nno;
-    r300k = run_case(g300k, dim, s300k, 1002);
+    return build_case(4, samples, 8, 1002);
+  }();
+  return c;
+}
+
+/// One benchmark body: evaluate the kernel at every sample point of the case.
+void run_kernel_case(benchlib::State& state, const char* tag, kernels::KernelKind kind) {
+  if (!kernels::kernel_supported(kind)) {
+    state.skip("ISA not available on this host");
+    return;
   }
+  const bool large = std::string_view(tag) == "300k";
+  if (large && !full()) {
+    state.skip("disabled by HDDM_TABLE2_FULL=0");
+    return;
+  }
+  CaseData& c = large ? case_300k() : case_7k();
+  const auto kernel = kernels::make_kernel(kind, &c.grid.dense, &c.grid.compressed);
+
+  const auto samples = static_cast<double>(c.xs.size());
+  state.set_items_per_rep(samples);  // items == kernel evaluations
+  state.set_dofs_per_rep(samples * c.grid.dense.ndofs);
+  // Surplus-matrix traffic per evaluation: the compressed kernels stream the
+  // whole nno x ndofs matrix (early exits skip rows, so this is an upper
+  // bound, consistent across kernels).
+  state.set_bytes_per_rep(samples * static_cast<double>(c.grid.dense.nno) *
+                          c.grid.dense.ndofs * sizeof(double));
+  state.info("kernel", std::string(kernels::kernel_name(kind)));
+  state.info("case", tag);
+  state.info("nno", static_cast<double>(c.grid.dense.nno));
+  state.info("samples", samples);
+
+  std::vector<double> value(static_cast<std::size_t>(c.grid.dense.ndofs));
+  std::vector<double> sink(value.size(), 0.0);
+  state.run([&] {
+    for (const auto& x : c.xs) {
+      kernel->evaluate(x.data(), value.data());
+      for (std::size_t k = 0; k < value.size(); ++k) sink[k] += value[k];
+    }
+  });
+  benchlib::do_not_optimize(sink.data());
+}
+
+/// Median seconds per single evaluation, NaN when the benchmark did not run.
+double per_eval(const benchlib::RunReport& report, const char* tag, kernels::KernelKind kind) {
+  const std::string name =
+      std::string("table2/") + tag + "/" + std::string(kernels::kernel_name(kind));
+  const benchlib::BenchResult* r = report.find_measured(name);
+  return r != nullptr ? r->seconds_per_item() : std::numeric_limits<double>::quiet_NaN();
+}
+
+int report_tables(const benchlib::RunReport& report) {
+  bench::print_header("Table II: interpolation kernel runtimes (time per evaluation)");
+  const bool ran_300k = report.find_measured("table2/300k/gold") != nullptr;
 
   util::Table table({"version", "7k [s] (measured)", "7k [s] (paper)", "300k [s] (measured)",
                      "300k [s] (paper)"});
-  std::size_t row = 0;
   for (const kernels::KernelKind kind : kernels::kAllKernelKinds) {
     const PaperRow paper = paper_row(kind);
-    const double m7 = r7k.seconds[row];
-    const double m3 = full ? r300k.seconds[row] : std::numeric_limits<double>::quiet_NaN();
+    const double m7 = per_eval(report, "7k", kind);
+    const double m3 = per_eval(report, "300k", kind);
     table.add_row({std::string(kernels::kernel_name(kind)),
                    std::isnan(m7) ? "n/a" : util::fmt_double(m7, 4),
                    util::fmt_double(paper.t7k, 4),
                    std::isnan(m3) ? "n/a" : util::fmt_double(m3, 4),
                    util::fmt_double(paper.t300k, 4)});
-    ++row;
   }
   bench::print_table(table);
 
@@ -145,33 +173,34 @@ int main() {
   bench::print_header("Fig. 6: speedups normalized to the gold kernel");
   util::Table fig6({"version", "7k speedup (measured)", "7k (paper)", "300k speedup (measured)",
                     "300k (paper)"});
+  const double gold7 = per_eval(report, "7k", kernels::KernelKind::Gold);
+  const double gold3 = per_eval(report, "300k", kernels::KernelKind::Gold);
   const double paper7_gold = paper_row(kernels::KernelKind::Gold).t7k;
   const double paper3_gold = paper_row(kernels::KernelKind::Gold).t300k;
-  row = 0;
   for (const kernels::KernelKind kind : kernels::kAllKernelKinds) {
     const PaperRow paper = paper_row(kind);
-    const double m7 = r7k.seconds[row];
-    const double m3 = full ? r300k.seconds[row] : std::numeric_limits<double>::quiet_NaN();
+    const double m7 = per_eval(report, "7k", kind);
+    const double m3 = per_eval(report, "300k", kind);
     fig6.add_row({std::string(kernels::kernel_name(kind)),
-                  std::isnan(m7) ? "n/a" : util::fmt_double(r7k.seconds[0] / m7, 3),
+                  std::isnan(m7) ? "n/a" : util::fmt_double(gold7 / m7, 3),
                   util::fmt_double(paper7_gold / paper.t7k, 3),
-                  std::isnan(m3) ? "n/a" : util::fmt_double(r300k.seconds[0] / m3, 3),
+                  std::isnan(m3) ? "n/a" : util::fmt_double(gold3 / m3, 3),
                   util::fmt_double(paper3_gold / paper.t300k, 3)});
-    ++row;
   }
   bench::print_table(fig6);
 
   // Modeled P100 estimate for the cuda row (the local "cuda(sim)" row above
   // measures the *host* executing the GPU-structured kernel — semantics, not
   // GPU speed; see DESIGN.md).
-  if (full) {
+  if (ran_300k) {
     bench::print_header("Modeled NVIDIA P100 estimate for the cuda kernel (roofline)");
+    const CaseData& c = case_300k();
     simgpu::KernelWorkload w;
-    w.nno = nno300k;
-    w.ndofs = static_cast<std::uint64_t>(ndofs);
+    w.nno = c.grid.dense.nno;
+    w.ndofs = static_cast<std::uint64_t>(ndofs());
     w.nfreq = 3;
     w.xps = 473;
-    w.active_fraction = r300k.active_fraction;
+    w.active_fraction = c.active_fraction;
     const auto est = simgpu::estimate_interpolation(simgpu::DeviceProperties{}, w);
     std::printf("300k case: modeled %s (memory %s, compute %s, overhead %s); paper measured %s\n",
                 util::fmt_seconds(est.total_seconds()).c_str(),
@@ -179,12 +208,40 @@ int main() {
                 util::fmt_seconds(est.compute_seconds).c_str(),
                 util::fmt_seconds(est.launch_overhead_seconds).c_str(),
                 util::fmt_seconds(0.000275).c_str());
-    std::printf("active-point fraction at a random sample: %.4f\n", r300k.active_fraction);
+    std::printf("active-point fraction at a random sample: %.4f\n", c.active_fraction);
   }
 
-  std::printf("\nShape check (measured): compressed/gold speedup on 7k = %.2fx (paper: 4.2x),\n"
-              "on 300k = %.2fx (paper: 4.4x).\n",
-              r7k.seconds[0] / r7k.seconds[1],
-              full ? r300k.seconds[0] / r300k.seconds[1] : 0.0);
+  const double x867 = per_eval(report, "7k", kernels::KernelKind::X86);
+  const double x863 = per_eval(report, "300k", kernels::KernelKind::X86);
+  const auto speedup = [](double gold, double x86) {
+    return (std::isnan(gold) || std::isnan(x86)) ? std::string("n/a")
+                                                 : util::fmt_double(gold / x86, 3) + "x";
+  };
+  std::printf("\nShape check (measured): compressed/gold speedup on 7k = %s (paper: 4.2x),\n"
+              "on 300k = %s (paper: 4.4x).\n",
+              speedup(gold7, x867).c_str(),
+              ran_300k ? speedup(gold3, x863).c_str() : "n/a");
   return 0;
+}
+
+const bool registered = [] {
+  for (const kernels::KernelKind kind : kernels::kAllKernelKinds) {
+    const std::string name(kernels::kernel_name(kind));
+    benchlib::register_benchmark("table2/7k/" + name, [kind](benchlib::State& s) {
+      run_kernel_case(s, "7k", kind);
+    });
+    benchlib::register_benchmark("table2/300k/" + name, [kind](benchlib::State& s) {
+      run_kernel_case(s, "300k", kind);
+    });
+  }
+  benchlib::register_report(report_tables);
+  return true;
+}();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("dim=%d ndofs=%d (host ISA tier: %s)\n", dim(), ndofs(),
+              std::string(kernels::kernel_name(kernels::best_supported_kernel())).c_str());
+  return hddm::benchlib::run_main(argc, argv, "bench_table2_kernels");
 }

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Validate and diff hddm benchmark documents (BENCH_*.json).
+
+The C++ benchlib harness (src/benchlib/) serializes every benchmark run to a
+schema-versioned JSON document. This script is the reading side — stdlib
+only, no third-party dependencies:
+
+  bench_compare.py check FILE...
+      Validate documents against the hddm-bench schema (version 1).
+      Exit 0 when all are valid, 1 otherwise.
+
+  bench_compare.py diff BASELINE CANDIDATE [--threshold R] [--metric M]
+                        [--report-only]
+      Compare two documents benchmark-by-benchmark (matched by name) and
+      flag regressions: candidate slower than baseline by more than
+      THRESHOLD (default 0.25 = 25%, on top of run-to-run noise) fails.
+      Benchmarks skipped in either document (e.g. AVX-512 on a non-AVX-512
+      host) are reported but never fail. --report-only prints the table and
+      always exits 0 — used by the benchsmoke CTest target, where baseline
+      and candidate may come from different machines. Exit codes: 0 ok,
+      1 usage/schema error, 2 regression detected.
+
+Context matters: the document records git SHA, compiler, build type, and the
+host's ISA-dispatch tier; diff prints both sides' context and warns when they
+differ, because a "regression" between a Debug and a Release document (or an
+avx2 and an avx512 host) is measurement noise, not a code change.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_NAME = "hddm-bench"
+SCHEMA_VERSION = 1
+
+
+def fail(msg):
+    print(f"bench_compare: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def validate(doc, path):
+    """Returns a list of schema violations (empty = valid)."""
+    errors = []
+
+    def need(obj, key, types, where):
+        if not isinstance(obj, dict) or key not in obj:
+            errors.append(f"{where}: missing key '{key}'")
+            return None
+        if not isinstance(obj[key], types):
+            errors.append(f"{where}: '{key}' has wrong type {type(obj[key]).__name__}")
+            return None
+        return obj[key]
+
+    if need(doc, "schema", str, path) != SCHEMA_NAME:
+        errors.append(f"{path}: schema is not '{SCHEMA_NAME}'")
+    version = need(doc, "schema_version", int, path)
+    if version is not None and version != SCHEMA_VERSION:
+        errors.append(f"{path}: unsupported schema_version {version} (expected {SCHEMA_VERSION})")
+
+    run = need(doc, "run", dict, path)
+    if run is not None:
+        for key in ("driver", "timestamp_utc"):
+            need(run, key, str, f"{path}:run")
+    host = need(doc, "host", dict, path)
+    if host is not None:
+        for key in ("hostname", "isa_tier"):
+            need(host, key, str, f"{path}:host")
+        need(host, "hardware_threads", int, f"{path}:host")
+    build = need(doc, "build", dict, path)
+    if build is not None:
+        for key in ("git_sha", "compiler", "build_type"):
+            need(build, key, str, f"{path}:build")
+        need(build, "native_arch", bool, f"{path}:build")
+
+    benches = need(doc, "benchmarks", list, path)
+    if benches is not None:
+        if not benches:
+            errors.append(f"{path}: empty benchmarks array")
+        seen = set()
+        for i, b in enumerate(benches):
+            where = f"{path}:benchmarks[{i}]"
+            name = need(b, "name", str, where)
+            if name in seen:
+                errors.append(f"{where}: duplicate benchmark name '{name}'")
+            seen.add(name)
+            skipped = need(b, "skipped", bool, where)
+            need(b, "info", dict, where)
+            if skipped:
+                need(b, "skip_reason", str, where)
+                continue
+            seconds = need(b, "seconds", dict, where)
+            if seconds is not None:
+                samples = need(seconds, "samples", list, f"{where}:seconds")
+                for key in ("min", "max", "mean", "median", "stddev"):
+                    need(seconds, key, (int, float), f"{where}:seconds")
+                if samples is not None and not samples:
+                    errors.append(f"{where}: no samples for un-skipped benchmark")
+            counters = need(b, "counters", dict, where)
+            if counters is not None:
+                for key in ("items_per_rep", "bytes_per_rep", "dofs_per_rep"):
+                    need(counters, key, (int, float), f"{where}:counters")
+            throughput = need(b, "throughput", dict, where)
+            if throughput is not None:
+                for key in ("items_per_sec", "bytes_per_sec", "dofs_per_sec"):
+                    # null when the benchmark declared no counter of this kind
+                    need(throughput, key, (int, float, type(None)), f"{where}:throughput")
+    return errors
+
+
+def context_line(doc):
+    host, build, run = doc["host"], doc["build"], doc["run"]
+    return (f"{run['driver']} @ {run['timestamp_utc']}  "
+            f"host={host['hostname']} isa={host['isa_tier']}  "
+            f"sha={build['git_sha']} {build['compiler']} {build['build_type']}"
+            f"{' native-arch' if build['native_arch'] else ''}")
+
+
+def cmd_check(args):
+    all_errors = []
+    for path in args.files:
+        doc = load(path)
+        errors = validate(doc, path)
+        if errors:
+            all_errors.extend(errors)
+        else:
+            n = len(doc["benchmarks"])
+            skipped = sum(1 for b in doc["benchmarks"] if b["skipped"])
+            print(f"OK {path}: {n} benchmarks ({skipped} skipped) — {context_line(doc)}")
+    for e in all_errors:
+        print(f"SCHEMA {e}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+def metric_value(bench, metric):
+    return bench["seconds"].get(metric)
+
+
+def cmd_diff(args):
+    base_doc, cand_doc = load(args.baseline), load(args.candidate)
+    for doc, path in ((base_doc, args.baseline), (cand_doc, args.candidate)):
+        errors = validate(doc, path)
+        if errors:
+            for e in errors:
+                print(f"SCHEMA {e}", file=sys.stderr)
+            return 1
+
+    print(f"baseline : {context_line(base_doc)}")
+    print(f"candidate: {context_line(cand_doc)}")
+    same_context = (base_doc["host"]["isa_tier"] == cand_doc["host"]["isa_tier"]
+                    and base_doc["build"]["build_type"] == cand_doc["build"]["build_type"])
+    if not same_context:
+        print("WARNING: documents differ in ISA tier or build type — "
+              "timing deltas are not comparable", file=sys.stderr)
+
+    base = {b["name"]: b for b in base_doc["benchmarks"]}
+    cand = {b["name"]: b for b in cand_doc["benchmarks"]}
+
+    rows = []
+    regressions = []
+    for name, b in base.items():
+        c = cand.get(name)
+        if c is None:
+            rows.append((name, "MISSING", "", "benchmark absent from candidate"))
+            continue
+        if b["skipped"] or c["skipped"]:
+            which = "baseline" if b["skipped"] else "candidate"
+            rows.append((name, "skipped", "", f"skipped in {which}"))
+            continue
+        tb, tc = metric_value(b, args.metric), metric_value(c, args.metric)
+        if not tb or tb <= 0 or tc is None:
+            rows.append((name, "n/a", "", f"no {args.metric} sample"))
+            continue
+        ratio = tc / tb
+        status = "ok"
+        note = ""
+        if ratio > 1.0 + args.threshold:
+            status = "REGRESSION"
+            note = f"{(ratio - 1.0) * 100.0:+.1f}% vs threshold +{args.threshold * 100.0:.0f}%"
+            regressions.append(name)
+        elif ratio < 1.0 - args.threshold:
+            status = "improved"
+            note = f"{(ratio - 1.0) * 100.0:+.1f}%"
+        rows.append((name, status, f"{ratio:.3f}x", note))
+    for name in cand:
+        if name not in base:
+            rows.append((name, "new", "", "benchmark absent from baseline"))
+
+    width = max((len(r[0]) for r in rows), default=10)
+    print(f"\n{'benchmark':<{width}}  {'status':<10}  {args.metric + ' ratio':<14}  note")
+    for name, status, ratio, note in rows:
+        print(f"{name:<{width}}  {status:<10}  {ratio:<14}  {note}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s): {', '.join(regressions)}", file=sys.stderr)
+        return 0 if args.report_only else 2
+    print("\nno regressions")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_check = sub.add_parser("check", help="validate BENCH_*.json documents")
+    p_check.add_argument("files", nargs="+")
+    p_check.set_defaults(fn=cmd_check)
+
+    p_diff = sub.add_parser("diff", help="diff a candidate document against a baseline")
+    p_diff.add_argument("baseline")
+    p_diff.add_argument("candidate")
+    p_diff.add_argument("--threshold", type=float, default=0.25,
+                        help="fractional slowdown that counts as a regression (default 0.25)")
+    p_diff.add_argument("--metric", choices=("median", "min", "mean"), default="median",
+                        help="which per-rep statistic to compare (default median)")
+    p_diff.add_argument("--report-only", action="store_true",
+                        help="print the comparison but always exit 0")
+    p_diff.set_defaults(fn=cmd_diff)
+
+    args = parser.parse_args()
+    sys.exit(args.fn(args))
+
+
+if __name__ == "__main__":
+    main()

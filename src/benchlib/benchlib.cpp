@@ -1,0 +1,349 @@
+#include "benchlib/benchlib.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <limits>
+
+#include "benchlib/json.hpp"
+#include "benchlib/sysinfo.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace hddm::benchlib {
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+struct Registered {
+  std::string name;
+  BenchFn fn;
+  BenchOptions options;
+};
+
+// Meyers singletons: registration happens from static initializers across
+// translation units, so the containers must be constructed on first use.
+std::vector<Registered>& registry() {
+  static std::vector<Registered> r;
+  return r;
+}
+
+std::vector<std::function<int(const RunReport&)>>& reports() {
+  static std::vector<std::function<int(const RunReport&)>> r;
+  return r;
+}
+
+struct RunOptions {
+  std::string filter;
+  int reps = 5;
+  int warmup = 1;
+  std::string json_path;  // empty = no JSON output
+  bool list_only = false;
+};
+
+void print_usage(std::string_view driver) {
+  std::printf(
+      "usage: %.*s [options]\n"
+      "  --filter=SUBSTR   run only benchmarks whose name contains SUBSTR\n"
+      "  --reps=N          measured repetitions per benchmark (default 5)\n"
+      "  --warmup=N        untimed warmup repetitions (default 1)\n"
+      "  --json=PATH       write the schema-versioned result document to PATH\n"
+      "  --json=auto       derive BENCH_<host>_<config>_<driver>.json\n"
+      "  --list            list registered benchmark names and exit\n"
+      "  --help            this text\n"
+      "env overrides (CLI wins): HDDM_BENCH_FILTER, HDDM_BENCH_REPS,\n"
+      "  HDDM_BENCH_WARMUP, HDDM_BENCH_JSON, HDDM_BENCH_HOST\n",
+      static_cast<int>(driver.size()), driver.data());
+}
+
+/// Parses "--name=value"; returns nullptr when arg does not start with prefix.
+const char* arg_value(const char* arg, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, n) != 0) return nullptr;
+  return arg + n;
+}
+
+bool parse_args(int argc, char** argv, std::string_view driver, RunOptions& opts, int& exit_code) {
+  opts.filter = util::env_string("HDDM_BENCH_FILTER", "");
+  opts.reps = static_cast<int>(util::env_long("HDDM_BENCH_REPS", opts.reps));
+  opts.warmup = static_cast<int>(util::env_long("HDDM_BENCH_WARMUP", opts.warmup));
+  opts.json_path = util::env_string("HDDM_BENCH_JSON", "");
+
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (const char* v = arg_value(arg, "--filter=")) {
+      opts.filter = v;
+    } else if (const char* v2 = arg_value(arg, "--reps=")) {
+      opts.reps = std::atoi(v2);
+    } else if (const char* v3 = arg_value(arg, "--warmup=")) {
+      opts.warmup = std::atoi(v3);
+    } else if (const char* v4 = arg_value(arg, "--json=")) {
+      opts.json_path = v4;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      opts.list_only = true;
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(driver);
+      exit_code = 0;
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg);
+      print_usage(driver);
+      exit_code = 2;
+      return false;
+    }
+  }
+  if (opts.reps < 1) opts.reps = 1;
+  if (opts.warmup < 0) opts.warmup = 0;
+  if (opts.json_path == "auto") opts.json_path = default_json_name(std::string(driver));
+  return true;
+}
+
+std::string utc_timestamp() {
+  char buf[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+double throughput(double per_rep, double median_seconds) {
+  if (per_rep <= 0.0 || median_seconds <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return per_rep / median_seconds;
+}
+
+[[nodiscard]] bool write_json(const std::string& path, std::string_view driver,
+                              const RunOptions& opts, const RunReport& report) {
+  const HostInfo host = host_info();
+  const BuildInfo build = build_info();
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("hddm-bench");
+  w.key("schema_version").value(static_cast<std::int64_t>(kSchemaVersion));
+  w.key("run").begin_object();
+  w.key("driver").value(driver);
+  w.key("timestamp_utc").value(utc_timestamp());
+  w.key("reps").value(static_cast<std::int64_t>(opts.reps));
+  w.key("warmup").value(static_cast<std::int64_t>(opts.warmup));
+  w.key("filter").value(opts.filter);
+  w.end_object();
+  w.key("host").begin_object();
+  w.key("hostname").value(host.hostname);
+  w.key("hardware_threads").value(static_cast<std::int64_t>(host.hardware_threads));
+  w.key("isa_tier").value(host.isa_tier);
+  w.end_object();
+  w.key("build").begin_object();
+  w.key("git_sha").value(build.git_sha);
+  w.key("compiler").value(build.compiler);
+  w.key("build_type").value(build.build_type);
+  w.key("native_arch").value(build.native_arch);
+  w.end_object();
+  w.key("benchmarks").begin_array();
+  for (const BenchResult& r : report.results) {
+    w.begin_object();
+    w.key("name").value(r.name);
+    w.key("skipped").value(r.skipped);
+    if (r.skipped) {
+      w.key("skip_reason").value(r.skip_reason);
+    } else {
+      w.key("reps").value(static_cast<std::int64_t>(r.reps));
+      w.key("warmup").value(static_cast<std::int64_t>(r.warmup));
+      w.key("seconds").begin_object();
+      w.key("samples").begin_array();
+      for (const double s : r.seconds) w.value(s);
+      w.end_array();
+      w.key("min").value(r.summary.min);
+      w.key("max").value(r.summary.max);
+      w.key("mean").value(r.summary.mean);
+      w.key("median").value(r.summary.median);
+      w.key("stddev").value(r.summary.stddev);
+      w.end_object();
+      w.key("counters").begin_object();
+      w.key("items_per_rep").value(r.counters.items_per_rep);
+      w.key("bytes_per_rep").value(r.counters.bytes_per_rep);
+      w.key("dofs_per_rep").value(r.counters.dofs_per_rep);
+      w.end_object();
+      w.key("throughput").begin_object();
+      w.key("items_per_sec").value(throughput(r.counters.items_per_rep, r.summary.median));
+      w.key("bytes_per_sec").value(throughput(r.counters.bytes_per_rep, r.summary.median));
+      w.key("dofs_per_sec").value(throughput(r.counters.dofs_per_rep, r.summary.median));
+      w.end_object();
+    }
+    w.key("info").begin_object();
+    for (const auto& [k, v] : r.info) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "[benchlib] cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << w.str() << '\n';
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "[benchlib] short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("[benchlib] wrote %s\n", path.c_str());
+  return true;
+}
+
+std::string fmt_rate(double per_sec) {
+  if (!std::isfinite(per_sec)) return "-";
+  char buf[32];
+  if (per_sec >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f G/s", per_sec * 1e-9);
+  } else if (per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f M/s", per_sec * 1e-6);
+  } else if (per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f k/s", per_sec * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f /s", per_sec);
+  }
+  return buf;
+}
+
+void print_summary(const RunReport& report) {
+  util::Table table({"benchmark", "reps", "median", "min", "stddev", "items/s", "bytes/s"});
+  for (const BenchResult& r : report.results) {
+    if (r.skipped) {
+      table.add_row({r.name, "-", "skipped: " + r.skip_reason, "", "", "", ""});
+      continue;
+    }
+    table.add_row({r.name, std::to_string(r.reps), util::fmt_seconds(r.summary.median),
+                   util::fmt_seconds(r.summary.min), util::fmt_seconds(r.summary.stddev),
+                   fmt_rate(throughput(r.counters.items_per_rep, r.summary.median)),
+                   fmt_rate(throughput(r.counters.bytes_per_rep, r.summary.median))});
+  }
+  std::printf("\n=== benchlib summary ===\n");
+  std::fputs(table.to_string().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+State::State(std::string name, int reps, int warmup)
+    : name_(std::move(name)), reps_(reps), warmup_(warmup) {}
+
+void State::run(const std::function<void()>& body) {
+  if (skipped_) return;
+  for (int w = 0; w < warmup_; ++w) body();
+  seconds_.reserve(static_cast<std::size_t>(reps_));
+  for (int r = 0; r < reps_; ++r) {
+    const util::Timer timer;
+    body();
+    seconds_.push_back(timer.seconds());
+  }
+}
+
+void State::skip(std::string reason) {
+  skipped_ = true;
+  skip_reason_ = std::move(reason);
+}
+
+void State::info(std::string key, std::string value) {
+  for (auto& [k, v] : info_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  info_.emplace_back(std::move(key), std::move(value));
+}
+
+void State::info(std::string key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  info(std::move(key), std::string(buf));
+}
+
+double BenchResult::seconds_per_item() const {
+  if (counters.items_per_rep <= 0.0) return std::numeric_limits<double>::quiet_NaN();
+  return summary.median / counters.items_per_rep;
+}
+
+const std::string* BenchResult::find_info(std::string_view key) const {
+  for (const auto& [k, v] : info)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const BenchResult* RunReport::find(std::string_view name) const {
+  for (const BenchResult& r : results)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+const BenchResult* RunReport::find_measured(std::string_view name) const {
+  const BenchResult* r = find(name);
+  return (r != nullptr && !r->skipped && !r->seconds.empty()) ? r : nullptr;
+}
+
+bool register_benchmark(std::string name, BenchFn fn, BenchOptions options) {
+  registry().push_back({std::move(name), std::move(fn), options});
+  return true;
+}
+
+bool register_report(std::function<int(const RunReport&)> fn) {
+  reports().push_back(std::move(fn));
+  return true;
+}
+
+int run_main(int argc, char** argv, std::string_view driver_name) {
+  RunOptions opts;
+  int exit_code = 0;
+  if (!parse_args(argc, argv, driver_name, opts, exit_code)) return exit_code;
+
+  if (opts.list_only) {
+    for (const Registered& b : registry()) std::printf("%s\n", b.name.c_str());
+    return 0;
+  }
+
+  RunReport report;
+  for (const Registered& b : registry()) {
+    if (!opts.filter.empty() && b.name.find(opts.filter) == std::string::npos) continue;
+    const int reps = b.options.fixed_reps > 0 ? b.options.fixed_reps : opts.reps;
+    const int warmup = b.options.fixed_reps > 0 ? 0 : opts.warmup;
+    std::printf("[benchlib] %s (reps=%d warmup=%d)\n", b.name.c_str(), reps, warmup);
+    std::fflush(stdout);
+
+    State state(b.name, reps, warmup);
+    b.fn(state);
+
+    BenchResult r;
+    r.name = state.name_;
+    r.skipped = state.skipped_;
+    r.skip_reason = state.skip_reason_;
+    r.reps = reps;
+    r.warmup = warmup;
+    r.seconds = std::move(state.seconds_);
+    r.summary = util::summarize(r.seconds);
+    r.counters = state.counters_;
+    r.info = std::move(state.info_);
+    report.results.push_back(std::move(r));
+  }
+
+  if (report.results.empty()) {
+    std::fprintf(stderr, "[benchlib] no benchmark matches filter '%s'\n", opts.filter.c_str());
+    return 2;
+  }
+
+  print_summary(report);
+  for (const auto& fn : reports()) exit_code |= fn(report);
+  // A --json run whose document cannot be written has failed: downstream
+  // tooling (bench_compare.py, CI) must not see success and a stale file.
+  if (!opts.json_path.empty() && !write_json(opts.json_path, driver_name, opts, report))
+    exit_code |= 1;
+  return exit_code;
+}
+
+}  // namespace hddm::benchlib

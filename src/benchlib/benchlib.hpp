@@ -1,0 +1,153 @@
+// Registry-based benchmark harness — the measurement subsystem behind every
+// bench/bench_*.cpp driver.
+//
+// The paper's core claims are throughput numbers (Table I/II kernel rates,
+// Fig. 7-9 scaling); this harness makes those numbers machine-readable and
+// regression-diffable instead of one-off ASCII tables:
+//
+//   * benchmarks register under hierarchical names ("table2/7k/gold") via
+//     BENCH_REGISTER or register_benchmark();
+//   * the runner times `warmup + reps` invocations of each registered body,
+//     keeps the per-rep wall-time samples, and summarizes them
+//     (min/median/mean/stddev via util::stats);
+//   * bytes-, item-, and DoF-derived throughput is computed from per-rep
+//     counters the benchmark declares;
+//   * every run serializes to a schema-versioned JSON document
+//     (BENCH_<host>_<config>_<driver>.json) carrying git SHA, compiler,
+//     build type, and the host's ISA-dispatch tier, so two documents are
+//     only ever compared in context (scripts/bench_compare.py);
+//   * the paper-figure tables are *formatters* over the same sample data:
+//     drivers register report hooks that read the RunReport.
+//
+// CLI of every driver:  --filter=SUBSTR --reps=N --warmup=N
+//                       --json=PATH|auto --list --help
+// Env overrides (CLI wins): HDDM_BENCH_FILTER, HDDM_BENCH_REPS,
+//                           HDDM_BENCH_WARMUP, HDDM_BENCH_JSON,
+//                           HDDM_BENCH_HOST (stable hostname for baselines).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hddm::benchlib {
+
+/// Per-rep work declared by a benchmark; throughput in the JSON document is
+/// derived as counter / median_seconds.
+struct Counters {
+  double items_per_rep = 0.0;  ///< logical operations (e.g. interpolations)
+  double bytes_per_rep = 0.0;  ///< bytes touched (e.g. surplus-matrix reads)
+  double dofs_per_rep = 0.0;   ///< degrees of freedom produced
+};
+
+/// Handed to each benchmark body; collects samples, counters, and metadata.
+class State {
+ public:
+  State(std::string name, int reps, int warmup);
+
+  /// Times `warmup()` untimed + `reps()` timed invocations of `body`.
+  /// Call exactly once per benchmark (after untimed setup).
+  void run(const std::function<void()>& body);
+
+  /// Marks the benchmark as skipped (unsupported ISA, disabled case). The
+  /// result is recorded as skipped in the JSON document, not dropped.
+  void skip(std::string reason);
+
+  void set_items_per_rep(double n) { counters_.items_per_rep = n; }
+  void set_bytes_per_rep(double n) { counters_.bytes_per_rep = n; }
+  void set_dofs_per_rep(double n) { counters_.dofs_per_rep = n; }
+
+  /// Attaches a key/value pair recorded in the JSON `info` object; report
+  /// hooks read these back to render the paper tables.
+  void info(std::string key, std::string value);
+  void info(std::string key, double value);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int reps() const { return reps_; }
+  [[nodiscard]] int warmup() const { return warmup_; }
+  [[nodiscard]] bool skipped() const { return skipped_; }
+
+ private:
+  friend int run_main(int argc, char** argv, std::string_view driver_name);
+
+  std::string name_;
+  int reps_;
+  int warmup_;
+  bool skipped_ = false;
+  std::string skip_reason_;
+  std::vector<double> seconds_;  // one sample per measured rep
+  Counters counters_;
+  std::vector<std::pair<std::string, std::string>> info_;
+};
+
+/// Immutable result of one benchmark, as serialized to JSON.
+struct BenchResult {
+  std::string name;
+  bool skipped = false;
+  std::string skip_reason;
+  int reps = 0;
+  int warmup = 0;
+  std::vector<double> seconds;
+  util::SampleSummary summary;  // over `seconds`
+  Counters counters;
+  std::vector<std::pair<std::string, std::string>> info;
+
+  /// Median seconds per rep — the robust central value reports format from.
+  [[nodiscard]] double median() const { return summary.median; }
+  /// Median seconds per declared item (NaN when no items were declared).
+  [[nodiscard]] double seconds_per_item() const;
+  [[nodiscard]] const std::string* find_info(std::string_view key) const;
+};
+
+/// Everything a paper-figure report hook can see.
+struct RunReport {
+  std::vector<BenchResult> results;
+  [[nodiscard]] const BenchResult* find(std::string_view name) const;
+  /// Like find() but only when the benchmark ran (registered, not skipped).
+  [[nodiscard]] const BenchResult* find_measured(std::string_view name) const;
+};
+
+using BenchFn = std::function<void(State&)>;
+
+struct BenchOptions {
+  /// Forces this benchmark's rep count regardless of --reps (e.g. long
+  /// algorithmic runs like fig9's convergence schedule measure once).
+  int fixed_reps = 0;  // 0 = use the run-wide setting
+};
+
+/// Registers a benchmark. Returns true so it can seed a static initializer.
+bool register_benchmark(std::string name, BenchFn fn, BenchOptions options = {});
+
+/// Registers a formatter run after all benchmarks; receives the full report
+/// and returns a process exit-code contribution (0 = success).
+bool register_report(std::function<int(const RunReport&)> fn);
+
+/// Parses CLI + env, runs every registered benchmark matching the filter,
+/// prints the harness summary table, runs report hooks, and writes the JSON
+/// document when requested. The body of every driver's main().
+int run_main(int argc, char** argv, std::string_view driver_name);
+
+/// Compiler barrier: keeps result sinks alive without printing them.
+inline void do_not_optimize(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+namespace detail {
+struct Registrar {
+  Registrar(const char* name, void (*fn)(State&)) { register_benchmark(name, fn); }
+};
+}  // namespace detail
+
+}  // namespace hddm::benchlib
+
+#define HDDM_BENCH_CONCAT_IMPL(a, b) a##b
+#define HDDM_BENCH_CONCAT(a, b) HDDM_BENCH_CONCAT_IMPL(a, b)
+
+/// BENCH_REGISTER("group/case") { ... body using `state` ... }
+#define BENCH_REGISTER(name)                                                      \
+  static void HDDM_BENCH_CONCAT(hddm_bench_fn_, __LINE__)(::hddm::benchlib::State&); \
+  static const ::hddm::benchlib::detail::Registrar HDDM_BENCH_CONCAT(                \
+      hddm_bench_reg_, __LINE__)(name, &HDDM_BENCH_CONCAT(hddm_bench_fn_, __LINE__));\
+  static void HDDM_BENCH_CONCAT(hddm_bench_fn_, __LINE__)(::hddm::benchlib::State& state)

@@ -1,0 +1,117 @@
+#include "benchlib/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hddm::benchlib {
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows its key, no separator
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ << ',';
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::escaped(std::string_view s) {
+  out_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ << '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_element_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ << '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_element_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma();
+  escaped(name);
+  out_ << ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  escaped(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  if (!std::isfinite(d)) {
+    out_ << "null";  // NaN/inf are not valid JSON; bench_compare.py treats null as "absent"
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  comma();
+  out_ << i;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  comma();
+  out_ << u;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ << (b ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ << "null";
+  return *this;
+}
+
+}  // namespace hddm::benchlib

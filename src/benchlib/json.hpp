@@ -1,0 +1,47 @@
+// Minimal streaming JSON writer for the benchmark harness.
+//
+// Emits the schema-versioned BENCH_*.json documents (see README.md for the
+// schema). Deliberately tiny — objects/arrays/scalars with correct string
+// escaping and round-trippable doubles — because the repo takes no external
+// dependencies; scripts/bench_compare.py is the reading side.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hddm::benchlib {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next member (valid only inside an object).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  void comma();
+  void escaped(std::string_view s);
+
+  std::ostringstream out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace hddm::benchlib

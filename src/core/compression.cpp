@@ -134,6 +134,27 @@ CompressedGridData compress(const sg::DenseGridData& dense, const CompressOption
   return out;
 }
 
+sg::DenseGridData decompress(const CompressedGridData& compressed) {
+  sg::DenseGridData out;
+  out.dim = compressed.dim;
+  out.ndofs = compressed.ndofs;
+  out.nno = compressed.nno;
+  out.pairs.assign(static_cast<std::size_t>(compressed.nno) * compressed.dim, sg::kRootPair);
+  out.surplus.assign(static_cast<std::size_t>(compressed.nno) * compressed.ndofs, 0.0);
+
+  for (std::uint32_t newp = 0; newp < compressed.nno; ++newp) {
+    const std::uint32_t oldp = compressed.order[newp];
+    sg::LevelIndex* row = out.pairs.data() + static_cast<std::size_t>(oldp) * compressed.dim;
+    const std::uint32_t* chain = compressed.chain_row(newp);
+    for (int f = 0; f < compressed.nfreq && chain[f] != 0; ++f) {
+      const XpsEntry& e = compressed.xps[chain[f]];
+      row[e.j] = sg::LevelIndex{e.l, e.i};
+    }
+    std::copy_n(compressed.surplus_row(newp), compressed.ndofs, out.surplus_row(oldp));
+  }
+  return out;
+}
+
 void update_surpluses(CompressedGridData& grid, std::span<const double> dense_order_surplus) {
   if (dense_order_surplus.size() != static_cast<std::size_t>(grid.nno) * grid.ndofs)
     throw std::invalid_argument("update_surpluses: size mismatch");

@@ -38,6 +38,13 @@ bool kernel_supported(KernelKind kind) {
   return false;
 }
 
+KernelKind best_supported_kernel() {
+  for (const KernelKind kind :
+       {KernelKind::Avx512, KernelKind::Avx2, KernelKind::Avx, KernelKind::X86})
+    if (kernel_supported(kind)) return kind;
+  return KernelKind::X86;
+}
+
 void InterpolationKernel::evaluate_batch(const double* x, double* value,
                                          std::size_t npoints) const {
   const int d = dim();

@@ -26,6 +26,11 @@ inline double env_double(const char* name, double fallback) {
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
+inline std::string env_string(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v == nullptr || *v == '\0') ? fallback : std::string(v);
+}
+
 inline bool env_flag(const char* name, bool fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;

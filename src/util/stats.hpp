@@ -39,6 +39,17 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Five-number-style summary of a sample vector; the benchmark harness
+/// reports these per benchmark and serializes them into BENCH_*.json.
+struct SampleSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
 /// q-th percentile (q in [0,1]) with linear interpolation; copies the input.
 inline double percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
@@ -48,6 +59,20 @@ inline double percentile(std::vector<double> xs, double q) {
   const auto hi = std::min(lo + 1, xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+/// Summarizes a sample vector (min/max/mean/median/stddev).
+inline SampleSummary summarize(const std::vector<double>& xs) {
+  SampleSummary s;
+  RunningStats acc;
+  for (const double x : xs) acc.add(x);
+  s.count = acc.count();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.mean = acc.mean();
+  s.median = percentile(xs, 0.5);
+  s.stddev = acc.stddev();
+  return s;
 }
 
 /// L2 norm of a vector.
