@@ -1,0 +1,246 @@
+// Offload-pipeline benchmark: single-point vs batched device offload through
+// parallel::DeviceDispatcher (DESIGN.md, "Batched device-offload pipeline").
+//
+// Every benchmark drives the same evaluation-point workload at the simulated
+// accelerator and differs only in submission granularity:
+//   offload/cpu        — CPU kernel evaluate_batch, no dispatcher (floor)
+//   offload/single     — one blocking try_offload handshake per point (the
+//                        pre-pipeline regime: one launch per point)
+//   offload/batch/B    — ticketed submissions of B points, all submitted
+//                        before the first wait (one launch per B points)
+//
+// The host wall times measure dispatch/synchronization cost — the simulated
+// device executes on the host, so they deliberately do not show GPU-scale
+// kernel speedups. The report therefore also prints the analytic P100
+// projection from simgpu/perf_model.hpp, under which every launch pays a
+// fixed overhead that batching amortizes: modeled s/point = body + overhead
+// divided by the batch size. The report *fails the run* (non-zero exit) if
+// batched offload at B >= 64 does not beat single-point offload under that
+// model, or if the batched results are not bit-identical to per-point
+// evaluate() — the acceptance criteria of the pipeline.
+//
+// Env knobs:  HDDM_OFFLOAD_POINTS (default 1024)  evaluation points per rep
+//             HDDM_OFFLOAD_DIM    (default 8)     grid dimension
+//             HDDM_OFFLOAD_LEVEL  (default 4)     regular grid level
+//             HDDM_OFFLOAD_NDOFS  (default 32)    dofs per point
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "benchlib/benchlib.hpp"
+#include "kernels/kernel_api.hpp"
+#include "parallel/device_dispatcher.hpp"
+#include "simgpu/perf_model.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hddm;
+
+constexpr std::size_t kBatchSizes[] = {8, 64, 256};
+
+struct Setup {
+  bench::TestGrid grid;
+  std::unique_ptr<kernels::InterpolationKernel> dev;
+  std::unique_ptr<kernels::InterpolationKernel> cpu;
+  std::vector<double> xs;        // npoints rows of dim
+  std::size_t npoints = 0;
+  std::size_t dim = 0;
+  std::size_t ndofs = 0;
+  bool parity_ok = true;         // batched == per-point evaluate(), bitwise
+};
+
+Setup make_setup() {
+  Setup s;
+  s.npoints = static_cast<std::size_t>(util::env_long("HDDM_OFFLOAD_POINTS", 1024));
+  const int dim = static_cast<int>(util::env_long("HDDM_OFFLOAD_DIM", 8));
+  const int level = static_cast<int>(util::env_long("HDDM_OFFLOAD_LEVEL", 4));
+  const int ndofs = static_cast<int>(util::env_long("HDDM_OFFLOAD_NDOFS", 32));
+  s.dim = static_cast<std::size_t>(dim);
+  s.ndofs = static_cast<std::size_t>(ndofs);
+  s.grid = bench::build_test_grid(dim, level, ndofs, 2024);
+  s.dev = kernels::make_kernel(kernels::KernelKind::SimGpu, &s.grid.dense, &s.grid.compressed);
+  s.cpu = kernels::make_kernel(kernels::KernelKind::X86, &s.grid.dense, &s.grid.compressed);
+
+  util::Rng rng(7);
+  s.xs.resize(s.npoints * s.dim);
+  for (auto& xi : s.xs) xi = rng.uniform();
+
+  // Acceptance check (once, untimed): dispatcher-batched results must be
+  // bitwise identical to per-point evaluate() on the same device kernel.
+  {
+    parallel::DeviceDispatcher disp({/*queue_capacity=*/s.npoints, /*max_batch=*/64});
+    std::vector<double> batched(s.npoints * s.ndofs);
+    std::vector<parallel::DeviceDispatcher::Ticket> tickets;
+    for (std::size_t begin = 0; begin < s.npoints; begin += 64) {
+      const std::size_t len = std::min<std::size_t>(64, s.npoints - begin);
+      auto t = disp.try_submit(*s.dev, s.xs.data() + begin * s.dim,
+                               batched.data() + begin * s.ndofs, len);
+      if (t) tickets.push_back(std::move(t));
+    }
+    for (auto& t : tickets) disp.wait(std::move(t));
+    std::vector<double> want(s.ndofs);
+    for (std::size_t k = 0; k < s.npoints && s.parity_ok; ++k) {
+      s.dev->evaluate(s.xs.data() + k * s.dim, want.data());
+      for (std::size_t dof = 0; dof < s.ndofs; ++dof)
+        if (batched[k * s.ndofs + dof] != want[dof]) s.parity_ok = false;
+    }
+  }
+  return s;
+}
+
+Setup& setup() {
+  static Setup s = make_setup();
+  return s;
+}
+
+simgpu::KernelEstimate modeled_estimate() {
+  const Setup& s = setup();
+  simgpu::KernelWorkload w;
+  w.nno = s.grid.compressed.nno;
+  w.ndofs = static_cast<std::uint64_t>(s.grid.compressed.ndofs);
+  w.nfreq = static_cast<std::uint64_t>(s.grid.compressed.nfreq);
+  w.xps = s.grid.compressed.xps.size();
+  w.active_fraction = 1.0;  // conservative: same on both sides of the comparison
+  return simgpu::estimate_interpolation(simgpu::DeviceProperties{}, w);
+}
+
+/// Modeled P100 seconds per interpolation when `batch` points share one
+/// launch: the roofline body is per point, the launch overhead is amortized.
+double modeled_seconds_per_point(std::size_t batch) {
+  const simgpu::KernelEstimate est = modeled_estimate();
+  const double body = std::max(est.memory_seconds, est.compute_seconds);
+  return body + est.launch_overhead_seconds / static_cast<double>(batch);
+}
+
+void record_offload_info(benchlib::State& state, const parallel::DispatcherStats& stats,
+                         std::size_t batch) {
+  state.info("batch", static_cast<double>(batch));
+  state.info("mean_batch", stats.mean_batch());
+  state.info("launches", static_cast<double>(stats.batches));
+  state.info("modeled_p100_s_per_point", modeled_seconds_per_point(batch));
+}
+
+void bench_single(benchlib::State& state) {
+  Setup& s = setup();
+  parallel::DeviceDispatcher disp({/*queue_capacity=*/s.npoints, /*max_batch=*/1});
+  std::vector<double> out(s.npoints * s.ndofs);
+  state.set_items_per_rep(static_cast<double>(s.npoints));
+  state.run([&] {
+    for (std::size_t k = 0; k < s.npoints; ++k) {
+      if (!disp.try_offload(*s.dev, s.xs.data() + k * s.dim, out.data() + k * s.ndofs))
+        s.cpu->evaluate(s.xs.data() + k * s.dim, out.data() + k * s.ndofs);
+    }
+  });
+  benchlib::do_not_optimize(out.data());
+  record_offload_info(state, disp.stats(), 1);
+}
+
+void bench_batched(benchlib::State& state, std::size_t batch) {
+  Setup& s = setup();
+  parallel::DeviceDispatcher disp({/*queue_capacity=*/s.npoints, /*max_batch=*/batch});
+  std::vector<double> out(s.npoints * s.ndofs);
+  state.set_items_per_rep(static_cast<double>(s.npoints));
+  state.run([&] {
+    // Submit every chunk, then wait — one launch per chunk, one wait per
+    // ticket, exactly the worker-side pattern of the pipeline.
+    std::vector<parallel::DeviceDispatcher::Ticket> tickets;
+    for (std::size_t begin = 0; begin < s.npoints; begin += batch) {
+      const std::size_t len = std::min(batch, s.npoints - begin);
+      auto t = disp.try_submit(*s.dev, s.xs.data() + begin * s.dim,
+                               out.data() + begin * s.ndofs, len);
+      if (t)
+        tickets.push_back(std::move(t));
+      else
+        s.cpu->evaluate_batch(s.xs.data() + begin * s.dim, out.data() + begin * s.ndofs, len);
+    }
+    for (auto& t : tickets) disp.wait(std::move(t));
+  });
+  benchlib::do_not_optimize(out.data());
+  record_offload_info(state, disp.stats(), batch);
+}
+
+void bench_cpu(benchlib::State& state) {
+  Setup& s = setup();
+  std::vector<double> out(s.npoints * s.ndofs);
+  state.set_items_per_rep(static_cast<double>(s.npoints));
+  state.run([&] { s.cpu->evaluate_batch(s.xs.data(), out.data(), s.npoints); });
+  benchlib::do_not_optimize(out.data());
+}
+
+int offload_report(const benchlib::RunReport& report) {
+  const Setup& s = setup();
+  const benchlib::BenchResult* single = report.find_measured("offload/single");
+
+  bench::print_header("Batched vs single-point device offload");
+  std::printf("grid: nno=%u dim=%zu ndofs=%zu  |  %zu evaluation points per rep\n",
+              s.grid.compressed.nno, s.dim, s.ndofs, s.npoints);
+  std::printf("(host times measure dispatch cost of the *simulated* device; the P100 column\n"
+              " is the perf_model projection where batching amortizes launch overhead)\n");
+
+  util::Table table({"path", "host s/point", "modeled P100 s/point", "modeled speedup vs single"});
+  const double modeled_single = modeled_seconds_per_point(1);
+  if (single != nullptr)
+    table.add_row({"single", util::fmt_seconds(single->seconds_per_item()),
+                   util::fmt_seconds(modeled_single), "1.000"});
+  int rc = 0;
+  for (const std::size_t batch : kBatchSizes) {
+    const auto* r = report.find_measured("offload/batch/" + std::to_string(batch));
+    if (r == nullptr) continue;
+    const double modeled = modeled_seconds_per_point(batch);
+    table.add_row({"batch/" + std::to_string(batch), util::fmt_seconds(r->seconds_per_item()),
+                   util::fmt_seconds(modeled), util::fmt_double(modeled_single / modeled, 3)});
+    if (batch < 64) continue;
+    // The modeled win only exists if the pipeline really coalesced: enforce
+    // the *measured* mean launch size from the dispatcher counters. A
+    // regression that degrades to one launch per point (or rejects every
+    // chunk to the CPU) fails here, not just in the projection arithmetic.
+    const std::string* mean_info = r->find_info("mean_batch");
+    const double mean_batch = mean_info ? std::strtod(mean_info->c_str(), nullptr) : 0.0;
+    const double expected =
+        static_cast<double>(std::min(batch, s.npoints));  // one launch when npoints < batch
+    if (mean_batch < 0.5 * expected) {
+      std::fprintf(stderr,
+                   "FAIL: offload/batch/%zu measured mean launch size %.1f points "
+                   "(expected ~%.0f) — batching is not happening\n",
+                   batch, mean_batch, expected);
+      rc = 1;
+    }
+    if (!(modeled < modeled_single)) {
+      std::fprintf(stderr,
+                   "FAIL: modeled batched offload (batch=%zu, %.3e s/pt) does not beat "
+                   "single-point offload (%.3e s/pt)\n",
+                   batch, modeled, modeled_single);
+      rc = 1;
+    }
+  }
+  bench::print_table(table);
+
+  if (s.parity_ok) {
+    std::printf("parity: batched dispatcher results bit-identical to per-point evaluate()\n");
+  } else {
+    std::fprintf(stderr, "FAIL: batched dispatcher results differ from per-point evaluate()\n");
+    rc = 1;
+  }
+  return rc;
+}
+
+const bool registered = [] {
+  benchlib::register_benchmark("offload/cpu", bench_cpu);
+  benchlib::register_benchmark("offload/single", bench_single);
+  for (const std::size_t batch : kBatchSizes)
+    benchlib::register_benchmark("offload/batch/" + std::to_string(batch),
+                                 [batch](benchlib::State& st) { bench_batched(st, batch); });
+  benchlib::register_report(offload_report);
+  return true;
+}();
+
+}  // namespace
+
+int main(int argc, char** argv) { return hddm::benchlib::run_main(argc, argv, "bench_offload"); }

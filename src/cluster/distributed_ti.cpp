@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "cluster/group_assign.hpp"
@@ -123,13 +124,29 @@ BuiltState build_state_distributed(SimComm group, int z, const core::DynamicMode
 
     // Block partition of the level's points over group ranks.
     const Range mine = block_partition(n_new, group.size(), group.rank());
-    std::vector<double> my_values(mine.size() * static_cast<std::size_t>(nd), 0.0);
-    std::vector<double> warm(static_cast<std::size_t>(nd));
-    for (std::uint64_t k = mine.begin; k < mine.end; ++k) {
-      const auto id = static_cast<std::uint32_t>(n_known + k);
+    const auto nmine = static_cast<std::size_t>(mine.size());
+    const auto sd = static_cast<std::size_t>(d);
+    const auto snd = static_cast<std::size_t>(nd);
+    std::vector<double> my_values(nmine * snd, 0.0);
+
+    // Warm starts for the rank's whole block, evaluated en bloc through the
+    // batched entry point — the same offload pipeline as the single-node
+    // driver (AsgPolicy chunks the run into ticketed device batches when a
+    // dispatcher is attached).
+    std::vector<double> xs(nmine * sd);
+    std::vector<double> warm_values(nmine * snd);
+    for (std::size_t k = 0; k < nmine; ++k) {
+      const auto id = static_cast<std::uint32_t>(n_known + mine.begin + k);
       const std::vector<double> x_unit = storage.coordinates(id);
-      p_next.evaluate(z, x_unit, warm);
-      stats.interpolations += 1;
+      std::copy(x_unit.begin(), x_unit.end(), xs.begin() + static_cast<std::ptrdiff_t>(k * sd));
+    }
+    p_next.evaluate_batch(z, xs, warm_values, nmine);
+    stats.interpolations += nmine;
+
+    for (std::uint64_t k = mine.begin; k < mine.end; ++k) {
+      const std::size_t local = static_cast<std::size_t>(k - mine.begin);
+      const std::span<const double> x_unit(xs.data() + local * sd, sd);
+      const std::span<const double> warm(warm_values.data() + local * snd, snd);
       core::PointSolveResult res = model.solve_point(z, x_unit, p_next, warm);
       if (!res.converged) ++built.failures;
       stats.interpolations += static_cast<std::uint64_t>(res.interpolations);
@@ -191,6 +208,12 @@ std::shared_ptr<AsgPolicy> distributed_step(SimComm world, const core::DynamicMo
   const int Ns = model.num_shocks();
   const int nranks = world.size();
 
+  // This rank's offload counters are cumulative on p_next's dispatcher;
+  // report the step's contribution as a delta (cf. TimeIterationDriver).
+  const auto* prev_asg = dynamic_cast<const AsgPolicy*>(&p_next);
+  const parallel::DispatcherStats device_before =
+      prev_asg ? prev_asg->device_stats() : parallel::DispatcherStats{};
+
   // State-to-rank mapping: proportional groups when ranks are plentiful,
   // round-robin state sharing otherwise.
   std::vector<int> my_states;
@@ -238,7 +261,12 @@ std::shared_ptr<AsgPolicy> distributed_step(SimComm world, const core::DynamicMo
 
   world.barrier();  // footnote 4's MPI_Barrier(MPI_COMM_WORLD)
 
+  if (prev_asg) stats.record_device_delta(prev_asg->device_stats().since(device_before));
+
   auto policy = std::make_shared<AsgPolicy>(model.ndofs(), std::move(grids));
+  // One dispatcher per rank — each in-process rank models a hybrid node
+  // with its own accelerator, exactly like the single-node driver.
+  if (options.use_device) policy->attach_default_device(options.device_kernel, options.offload);
   stats.total_points = policy->total_points();
   stats.points_per_shock = policy->points_per_shock();
   const double cells = static_cast<double>(stats.total_points) * model.indicator_dofs();

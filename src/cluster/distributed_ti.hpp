@@ -36,6 +36,13 @@ struct DistributedOptions {
   int max_iterations = 50;
   double tolerance = 1e-4;
   kernels::KernelKind kernel = kernels::KernelKind::X86;
+  /// Per-rank batched device offload, inheriting the single-node pipeline:
+  /// every rank attaches its own dispatcher (one accelerator per node) to
+  /// the merged policy, and warm-start interpolations of the rank's point
+  /// block go through AsgPolicy::evaluate_batch en bloc.
+  bool use_device = false;
+  kernels::KernelKind device_kernel = kernels::KernelKind::SimGpu;
+  parallel::DispatcherOptions offload;  ///< dispatcher knobs (batch, capacity)
 };
 
 struct DistributedResult {

@@ -27,6 +27,21 @@ class PolicyEvaluator {
   [[nodiscard]] virtual int ndofs() const = 0;
   /// out[0..ndofs) = p(z, x); x has the model's state dimension.
   virtual void evaluate(int z, std::span<const double> x_unit, std::span<double> out) const = 0;
+
+  /// Batched form: xs holds npoints rows of the state dimension, out npoints
+  /// rows of ndofs. The time-iteration drivers collect each level's warm
+  /// start interpolations and evaluate them through this entry point en
+  /// bloc, so backends with per-call launch cost (the device-offload
+  /// pipeline behind AsgPolicy) can amortize it. The default loops over
+  /// evaluate() and is what analytic evaluators keep.
+  virtual void evaluate_batch(int z, std::span<const double> xs, std::span<double> out,
+                              std::size_t npoints) const {
+    if (npoints == 0) return;
+    const std::size_t d = xs.size() / npoints;
+    const std::size_t nd = out.size() / npoints;
+    for (std::size_t k = 0; k < npoints; ++k)
+      evaluate(z, xs.subspan(k * d, d), out.subspan(k * nd, nd));
+  }
 };
 
 /// Result of one grid-point equilibrium solve.

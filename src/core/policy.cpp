@@ -29,6 +29,37 @@ void AsgPolicy::evaluate(int z, std::span<const double> x_unit, std::span<double
   grid.evaluate(x_unit, out);
 }
 
+void AsgPolicy::evaluate_batch(int z, std::span<const double> xs, std::span<double> out,
+                               std::size_t npoints) const {
+  if (npoints == 0) return;
+  const auto& grid = *grids_[static_cast<std::size_t>(z)];
+  if (dispatcher_ == nullptr) {
+    grid.kernel().evaluate_batch(xs.data(), out.data(), npoints);
+    return;
+  }
+  const auto d = static_cast<std::size_t>(grid.dense().dim);
+  const auto nd = static_cast<std::size_t>(grid.ndofs());
+  const auto& dev = *device_kernels_[static_cast<std::size_t>(z)];
+  const std::size_t chunk = dispatcher_->options().max_batch;
+
+  // Submit every chunk first so the device pipelines them, remember the
+  // rejected ones, evaluate those on the CPU while the device drains, and
+  // only then wait — one wait per accepted ticket, not per point.
+  std::vector<parallel::DeviceDispatcher::Ticket> tickets;
+  std::vector<std::pair<std::size_t, std::size_t>> cpu_chunks;  // (begin, npoints)
+  for (std::size_t begin = 0; begin < npoints; begin += chunk) {
+    const std::size_t len = std::min(chunk, npoints - begin);
+    auto ticket = dispatcher_->try_submit(dev, xs.data() + begin * d, out.data() + begin * nd, len);
+    if (ticket)
+      tickets.push_back(std::move(ticket));
+    else
+      cpu_chunks.emplace_back(begin, len);
+  }
+  for (const auto& [begin, len] : cpu_chunks)
+    grid.kernel().evaluate_batch(xs.data() + begin * d, out.data() + begin * nd, len);
+  for (auto& ticket : tickets) dispatcher_->wait(std::move(ticket));
+}
+
 std::uint32_t AsgPolicy::total_points() const {
   std::uint32_t total = 0;
   for (const auto& g : grids_) total += g->num_points();
@@ -44,15 +75,27 @@ std::vector<std::uint32_t> AsgPolicy::points_per_shock() const {
 
 void AsgPolicy::attach_device(
     std::vector<std::unique_ptr<kernels::InterpolationKernel>> device_kernels,
-    std::size_t queue_capacity) {
+    parallel::DispatcherOptions options) {
   if (device_kernels.size() != grids_.size())
     throw std::invalid_argument("attach_device: one kernel per shock required");
   device_kernels_ = std::move(device_kernels);
-  dispatcher_ = std::make_unique<parallel::DeviceDispatcher>(queue_capacity);
+  dispatcher_ = std::make_unique<parallel::DeviceDispatcher>(options);
+}
+
+void AsgPolicy::attach_default_device(kernels::KernelKind kind,
+                                      parallel::DispatcherOptions options) {
+  std::vector<std::unique_ptr<kernels::InterpolationKernel>> dev;
+  dev.reserve(grids_.size());
+  for (const auto& g : grids_) dev.push_back(kernels::make_kernel(kind, &g->dense(), &g->compressed()));
+  attach_device(std::move(dev), options);
 }
 
 std::uint64_t AsgPolicy::device_offloaded() const {
   return dispatcher_ ? dispatcher_->offloaded() : 0;
+}
+
+parallel::DispatcherStats AsgPolicy::device_stats() const {
+  return dispatcher_ ? dispatcher_->stats() : parallel::DispatcherStats{};
 }
 
 }  // namespace hddm::core

@@ -52,17 +52,33 @@ class AsgPolicy final : public PolicyEvaluator {
   [[nodiscard]] int ndofs() const override { return ndofs_; }
   void evaluate(int z, std::span<const double> x_unit, std::span<double> out) const override;
 
+  /// Batched evaluation through the offload pipeline: the point run is
+  /// submitted to the device in max_batch-sized ticketed chunks (all
+  /// submissions first, one wait per ticket afterwards); chunks the
+  /// saturated device rejects are evaluated on the CPU kernel while the
+  /// accepted ones drain. Without an attached device this is one CPU
+  /// evaluate_batch call.
+  void evaluate_batch(int z, std::span<const double> xs, std::span<double> out,
+                      std::size_t npoints) const override;
+
   [[nodiscard]] const ShockGrid& grid(int z) const { return *grids_[static_cast<std::size_t>(z)]; }
   [[nodiscard]] std::uint32_t total_points() const;
   [[nodiscard]] std::vector<std::uint32_t> points_per_shock() const;
 
   /// Attaches a device kernel (one per shock is wasteful; the dispatcher
   /// owns a single simulated accelerator shared by all shocks — mirroring
-  /// one GPU per node). Subsequent evaluate() calls try the device first and
-  /// fall back to the CPU kernel when it is busy.
+  /// one GPU per node). Subsequent evaluate()/evaluate_batch() calls try the
+  /// device first and fall back to the CPU kernel when it is busy.
   void attach_device(std::vector<std::unique_ptr<kernels::InterpolationKernel>> device_kernels,
-                     std::size_t queue_capacity = 16);
+                     parallel::DispatcherOptions options = {});
+  /// The standard hybrid-node setup both time-iteration drivers use: builds
+  /// one `kind` kernel per shock bound to this policy's own grids and
+  /// attaches the dispatcher.
+  void attach_default_device(kernels::KernelKind kind, parallel::DispatcherOptions options = {});
   [[nodiscard]] std::uint64_t device_offloaded() const;
+  /// Offload counters (points offloaded/rejected, launches, mean batch);
+  /// zeros when no device is attached.
+  [[nodiscard]] parallel::DispatcherStats device_stats() const;
 
  private:
   int ndofs_;

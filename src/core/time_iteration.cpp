@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <span>
 #include <stdexcept>
 
 #include "parallel/parallel_for.hpp"
@@ -73,17 +74,45 @@ TimeIterationDriver::BuiltShock TimeIterationDriver::build_shock(int z,
     // --- Solve the equilibrium at every new point (the Fig. 2 inner loop).
     {
       const util::ScopedAccumulator acc(stats.solve_seconds);
+      const auto sd = static_cast<std::size_t>(d);
+      const auto snd = static_cast<std::size_t>(nd);
+
+      // Warm starts = previous policy at the level's new points, collected
+      // per chunk and evaluated through the batched entry point in
+      // offload.max_batch-sized chunks — each chunk is one device ticket drained
+      // in a single launch (CPU-kernel fallback when the queue is full) —
+      // instead of one blocking per-point interpolation inside the workers.
+      // The coordinate gather runs inside the chunk workers too, so no
+      // serial O(n_new) section precedes the parallel solve.
+      std::vector<double> xs(n_new * sd);
+      std::vector<double> warm_values(n_new * snd);
+      const std::size_t chunk = std::max<std::size_t>(opts_.offload.max_batch, 1);
+      const std::size_t nchunks = (n_new + chunk - 1) / chunk;
+      parallel::parallel_for(
+          *pool_, 0, nchunks,
+          [&](std::size_t ci) {
+            const std::size_t begin = ci * chunk;
+            const std::size_t len = std::min(chunk, n_new - begin);
+            for (std::size_t k = begin; k < begin + len; ++k) {
+              const std::vector<double> x_unit =
+                  storage.coordinates(n_known + static_cast<std::uint32_t>(k));
+              std::copy(x_unit.begin(), x_unit.end(),
+                        xs.begin() + static_cast<std::ptrdiff_t>(k * sd));
+            }
+            p_next.evaluate_batch(z, std::span<const double>(xs).subspan(begin * sd, len * sd),
+                                  std::span<double>(warm_values).subspan(begin * snd, len * snd),
+                                  len);
+          },
+          /*grain=*/1);
+      interpolations.fetch_add(n_new, std::memory_order_relaxed);
+
       parallel::parallel_for(
           *pool_, n_known, storage.size(),
           [&](std::size_t idx) {
             const auto id = static_cast<std::uint32_t>(idx);
-            const std::vector<double> x_unit = storage.coordinates(id);
-
-            // Warm start = previous policy at this very point (one more
-            // p_next interpolation, possibly offloaded to the device).
-            std::vector<double> warm(static_cast<std::size_t>(nd));
-            p_next.evaluate(z, x_unit, warm);
-            interpolations.fetch_add(1, std::memory_order_relaxed);
+            const std::size_t k = idx - n_known;
+            const std::span<const double> x_unit(xs.data() + k * sd, sd);
+            const std::span<const double> warm(warm_values.data() + k * snd, snd);
 
             PointSolveResult res = model_.solve_point(z, x_unit, p_next, warm);
             if (!res.converged) failures.fetch_add(1, std::memory_order_relaxed);
@@ -159,6 +188,12 @@ std::shared_ptr<AsgPolicy> TimeIterationDriver::step(const PolicyEvaluator& p_ne
   stats.policy_change_l2 = 0.0;
   stats.policy_change_linf = 0.0;
 
+  // Offload counters are cumulative on p_next's dispatcher; report this
+  // iteration's contribution as a delta.
+  const auto* prev_asg = dynamic_cast<const AsgPolicy*>(&p_next);
+  const parallel::DispatcherStats device_before =
+      prev_asg ? prev_asg->device_stats() : parallel::DispatcherStats{};
+
   std::vector<std::unique_ptr<ShockGrid>> grids(static_cast<std::size_t>(Ns));
   // The top parallel layer (shocks -> MPI groups) lives in src/cluster/;
   // within one process the shocks are built in turn, each using the full
@@ -172,15 +207,10 @@ std::shared_ptr<AsgPolicy> TimeIterationDriver::step(const PolicyEvaluator& p_ne
     grids[static_cast<std::size_t>(z)] = std::move(built.grid);
   }
 
+  if (prev_asg) stats.record_device_delta(prev_asg->device_stats().since(device_before));
+
   auto policy = std::make_shared<AsgPolicy>(model_.ndofs(), std::move(grids));
-  if (opts_.use_device) {
-    std::vector<std::unique_ptr<kernels::InterpolationKernel>> dev;
-    dev.reserve(static_cast<std::size_t>(Ns));
-    for (int z = 0; z < Ns; ++z)
-      dev.push_back(kernels::make_kernel(opts_.device_kernel, &policy->grid(z).dense(),
-                                         &policy->grid(z).compressed()));
-    policy->attach_device(std::move(dev));
-  }
+  if (opts_.use_device) policy->attach_default_device(opts_.device_kernel, opts_.offload);
 
   // Normalize the accumulated L2 change into an RMS over (points x dofs).
   const double cells = static_cast<double>(total_points) * model_.indicator_dofs();
@@ -221,7 +251,8 @@ TimeIterationResult TimeIterationDriver::run() {
     if (on_iteration) on_iteration(stats);
     util::log_info("time-iteration it=", it, " points=", stats.total_points,
                    " dlinf=", stats.policy_change_linf, " dl2=", stats.policy_change_l2,
-                   " fails=", stats.solver_failures, " secs=", stats.seconds);
+                   " fails=", stats.solver_failures, " offl=", stats.device_offloaded,
+                   " batches=", stats.device_batches, " secs=", stats.seconds);
 
     current = std::move(next);
     p_next = current.get();

@@ -18,6 +18,7 @@
 #include "core/model.hpp"
 #include "core/policy.hpp"
 #include "kernels/kernel_api.hpp"
+#include "parallel/device_dispatcher.hpp"
 #include "parallel/work_stealing_pool.hpp"
 
 namespace hddm::core {
@@ -37,9 +38,14 @@ struct TimeIterationOptions {
   std::size_t threads = 1;
   kernels::KernelKind kernel = kernels::KernelKind::X86;
   /// Offload p_next interpolations to the simulated accelerator through the
-  /// dedicated dispatcher thread.
+  /// batched dispatcher pipeline (ticketed en-bloc submission per level).
   bool use_device = false;
   kernels::KernelKind device_kernel = kernels::KernelKind::SimGpu;
+  /// Dispatcher configuration (single source of truth for the defaults):
+  /// `offload.max_batch` is also the chunk size the warm-start collection
+  /// submits per ticket; `offload.queue_capacity` is the outstanding-point
+  /// bound past which chunks fall back to the CPU kernel.
+  parallel::DispatcherOptions offload;
 
   /// Extra diagnostics: Euler residuals at `residual_samples` random
   /// off-grid points per shock each iteration (0 disables).
@@ -56,6 +62,20 @@ struct IterationStats {
   std::vector<std::uint32_t> points_per_shock;
   std::uint32_t solver_failures = 0;
   std::uint64_t interpolations = 0;
+  // Offload-pipeline counters for this iteration (deltas of p_next's
+  // dispatcher counters; zero when p_next has no device attached).
+  std::uint64_t device_offloaded = 0;  ///< points served by the device
+  std::uint64_t device_rejected = 0;   ///< points refused (CPU fallback)
+  std::uint64_t device_batches = 0;    ///< device launches
+  double device_mean_batch = 0.0;      ///< offloaded / launches
+  /// Fills the device_* fields from a dispatcher counter delta (both
+  /// drivers report per-step deltas of p_next's cumulative counters).
+  void record_device_delta(const parallel::DispatcherStats& delta) {
+    device_offloaded = delta.offloaded_points;
+    device_rejected = delta.rejected_points;
+    device_batches = delta.batches;
+    device_mean_batch = delta.mean_batch();
+  }
   double seconds = 0.0;
   double solve_seconds = 0.0;
   double hierarchize_seconds = 0.0;

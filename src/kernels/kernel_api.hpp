@@ -40,9 +40,15 @@ class InterpolationKernel {
   /// value[0..ndofs) = u(x); overwrites value.
   virtual void evaluate(const double* x, double* value) const = 0;
 
-  /// Batched evaluation (npoints rows of x, npoints rows of value). The
-  /// default loops over evaluate(); the GPU-structured kernel overrides it to
-  /// launch one grid of blocks per batch.
+  /// Batched evaluation (npoints rows of x, npoints rows of value) — the
+  /// primary entry point of the device-offload pipeline: the dispatcher
+  /// (parallel::DeviceDispatcher) drains each accumulated batch through one
+  /// call, amortizing per-launch cost over the batch. The default loops over
+  /// evaluate(); kernels with per-launch setup cost (the GPU-structured
+  /// kernel) override it to share one launch across all points. Overrides
+  /// must produce results bit-identical to per-point evaluate() — the
+  /// dispatcher's CPU fallback and the batched path are interchangeable
+  /// mid-run (contract enforced by tests/parallel/test_dispatcher.cpp).
   virtual void evaluate_batch(const double* x, double* value, std::size_t npoints) const;
 };
 

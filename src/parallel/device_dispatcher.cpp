@@ -1,9 +1,28 @@
 #include "parallel/device_dispatcher.hpp"
 
+#include <algorithm>
+
 namespace hddm::parallel {
 
-DeviceDispatcher::DeviceDispatcher(std::size_t queue_capacity)
-    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+struct DeviceDispatcher::Ticket::Request {
+  const kernels::InterpolationKernel* kernel = nullptr;
+  const double* x = nullptr;
+  double* value = nullptr;
+  std::size_t npoints = 0;
+  // Completion flag. Stored under the dispatcher mutex (for the condition
+  // variable) but read atomically so wait() can fast-path a finished ticket
+  // without touching the mutex — which also makes tickets completed by the
+  // destructor safe to observe afterwards.
+  std::atomic<bool> done{false};
+};
+
+DeviceDispatcher::DeviceDispatcher(DispatcherOptions options) : opts_(options) {
+  if (opts_.queue_capacity == 0) opts_.queue_capacity = 1;
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  // A full-size batch must fit the queue, or every max_batch-sized
+  // submission would be rejected even when the device is idle — silently
+  // disabling offload entirely.
+  opts_.queue_capacity = std::max(opts_.queue_capacity, opts_.max_batch);
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -16,28 +35,50 @@ DeviceDispatcher::~DeviceDispatcher() {
   dispatcher_.join();
 }
 
-bool DeviceDispatcher::try_offload(const kernels::InterpolationKernel& kernel, const double* x,
-                                   double* value) {
-  Request req{&kernel, x, value, false};
+DeviceDispatcher::Ticket DeviceDispatcher::try_submit(const kernels::InterpolationKernel& kernel,
+                                                      const double* x, double* value,
+                                                      std::size_t npoints) {
+  if (npoints == 0) return Ticket{};
+  auto req = std::make_shared<Ticket::Request>();
+  req->kernel = &kernel;
+  req->x = x;
+  req->value = value;
+  req->npoints = npoints;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (stop_ || queue_.size() >= capacity_) {
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-      return false;
+    if (stop_ || outstanding_points_ + npoints > opts_.queue_capacity) {
+      rejected_.fetch_add(npoints, std::memory_order_relaxed);
+      return Ticket{};
     }
-    queue_.push_back(&req);
+    queue_.push_back(req);
+    outstanding_points_ += npoints;
   }
   queue_cv_.notify_one();
+  return Ticket{std::move(req)};
+}
 
+void DeviceDispatcher::wait(Ticket ticket) {
+  if (!ticket.req_) return;
+  if (ticket.req_->done.load(std::memory_order_acquire)) return;
   std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&req] { return req.done; });
-  offloaded_.fetch_add(1, std::memory_order_relaxed);
+  done_cv_.wait(lock, [&ticket] { return ticket.req_->done.load(std::memory_order_acquire); });
+}
+
+bool DeviceDispatcher::try_offload(const kernels::InterpolationKernel& kernel, const double* x,
+                                   double* value) {
+  Ticket ticket = try_submit(kernel, x, value, 1);
+  if (!ticket) return false;
+  wait(std::move(ticket));
   return true;
 }
 
 void DeviceDispatcher::dispatch_loop() {
+  std::vector<std::shared_ptr<Ticket::Request>> batch;
+  std::vector<double> xbuf;
+  std::vector<double> vbuf;
   for (;;) {
-    Request* req = nullptr;
+    batch.clear();
+    std::size_t points = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -45,16 +86,74 @@ void DeviceDispatcher::dispatch_loop() {
         if (stop_) return;
         continue;
       }
-      req = queue_.front();
-      queue_.pop_front();
+      // Coalesce the head run of submissions sharing one kernel into a
+      // single batch, capped at max_batch points. Flush-on-idle: only what
+      // is queued *now* is taken — the device never waits for a batch to
+      // fill. The first submission is always admitted even when it alone
+      // exceeds max_batch (run_batch slices the launches).
+      const kernels::InterpolationKernel* kernel = queue_.front()->kernel;
+      while (!queue_.empty() && queue_.front()->kernel == kernel &&
+             (points == 0 || points + queue_.front()->npoints <= opts_.max_batch)) {
+        points += queue_.front()->npoints;
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
     }
+
     // The device kernel runs outside the lock — workers keep queueing.
-    req->kernel->evaluate(req->x, req->value);
+    run_batch(batch, points, xbuf, vbuf);
+
+    // Counters update before completion is published, so a worker returning
+    // from wait() always observes them included.
+    offloaded_.fetch_add(points, std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      req->done = true;
+      for (const auto& req : batch) req->done.store(true, std::memory_order_release);
+      outstanding_points_ -= points;
     }
     done_cv_.notify_all();
+  }
+}
+
+void DeviceDispatcher::run_batch(const std::vector<std::shared_ptr<Ticket::Request>>& batch,
+                                 std::size_t points, std::vector<double>& xbuf,
+                                 std::vector<double>& vbuf) {
+  const kernels::InterpolationKernel& kernel = *batch.front()->kernel;
+  const auto d = static_cast<std::size_t>(kernel.dim());
+  const auto nd = static_cast<std::size_t>(kernel.ndofs());
+
+  const auto launch = [&](const double* x, double* value, std::size_t n) {
+    // An oversized single submission still respects max_batch per launch.
+    for (std::size_t begin = 0; begin < n; begin += opts_.max_batch) {
+      const std::size_t len = std::min(opts_.max_batch, n - begin);
+      kernel.evaluate_batch(x + begin * d, value + begin * nd, len);
+      batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (batch.size() == 1) {
+    // Single submission: evaluate in place, no staging copy.
+    launch(batch.front()->x, batch.front()->value, batch.front()->npoints);
+    return;
+  }
+
+  // Gather the coalesced submissions into one contiguous staging buffer,
+  // drain it in a single launch, and scatter the results back. The staging
+  // copies are bitwise, so batched results stay bit-identical to per-point
+  // evaluate() on the same kernel.
+  xbuf.resize(points * d);
+  vbuf.resize(points * nd);
+  std::size_t row = 0;
+  for (const auto& req : batch) {
+    std::copy(req->x, req->x + req->npoints * d, xbuf.begin() + static_cast<std::ptrdiff_t>(row * d));
+    row += req->npoints;
+  }
+  launch(xbuf.data(), vbuf.data(), points);
+  row = 0;
+  for (const auto& req : batch) {
+    std::copy(vbuf.begin() + static_cast<std::ptrdiff_t>(row * nd),
+              vbuf.begin() + static_cast<std::ptrdiff_t>((row + req->npoints) * nd), req->value);
+    row += req->npoints;
   }
 }
 

@@ -1,66 +1,136 @@
-// Hybrid CPU/accelerator dispatch — Sec. IV-A's "one of the TBB-managed
-// threads is exclusively used for the GPU dispatch".
+// Batched asynchronous device offload — Sec. IV-A's "one of the TBB-managed
+// threads is exclusively used for the GPU dispatch", extended into the
+// batching pipeline described in DESIGN.md ("Batched device-offload
+// pipeline").
 //
 // A dedicated dispatcher thread models the single accelerator of a hybrid
-// node and serves interpolation requests from a bounded queue; each request
-// names the device kernel to run (one kernel per shock's grid, one physical
-// device). Worker threads *try* to offload an evaluation; when the queue is
-// full (device saturated) the caller falls back to its CPU kernel — that is
-// the "partial offload" the paper describes, and it degrades gracefully to
-// pure-CPU when no device is present.
+// node. Worker threads *submit* whole runs of interpolation points (a
+// Ticket per submission) instead of one point per blocking handshake; the
+// dispatcher accumulates queued submissions for the same kernel, drains up
+// to `max_batch` points through InterpolationKernel::evaluate_batch() in a
+// single launch (flush-on-idle: whatever is queued launches immediately —
+// the queue never waits for a batch to fill), and completes every ticket of
+// the batch at once. A worker can therefore submit several chunks and wait
+// once per chunk *after* all submissions, overlapping its own CPU work with
+// the device.
+//
+// When admitting a submission would exceed `queue_capacity` outstanding
+// points (device saturated), try_submit returns a null ticket and the
+// caller evaluates on its CPU kernel instead — the "partial offload" of the
+// paper, degrading gracefully to pure-CPU when no device is present.
+//
+// Batched results are bit-identical to per-point evaluate() on the same
+// kernel (the evaluate_batch contract, enforced by tests/parallel/).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "kernels/kernel_api.hpp"
 
 namespace hddm::parallel {
 
+struct DispatcherOptions {
+  /// Outstanding *points* (queued + in flight) admitted before try_submit
+  /// rejects; the backpressure that makes callers fall back to CPU. Raised
+  /// to max_batch when smaller, so a full-size batch always fits.
+  std::size_t queue_capacity = 1024;
+  /// Maximum points fused into one device launch. Coalesced submissions
+  /// never exceed it; an oversized single submission is drained in
+  /// max_batch-sized launches.
+  std::size_t max_batch = 256;
+};
+
+/// Monotonic offload counters (points, not requests).
+struct DispatcherStats {
+  std::uint64_t offloaded_points = 0;  ///< points completed on the device
+  std::uint64_t rejected_points = 0;   ///< points refused (caller went to CPU)
+  std::uint64_t batches = 0;           ///< device launches
+  [[nodiscard]] double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(offloaded_points) / static_cast<double>(batches);
+  }
+  /// Counter delta relative to an earlier snapshot of the same dispatcher
+  /// (how the per-iteration stats in core::IterationStats are derived).
+  [[nodiscard]] DispatcherStats since(const DispatcherStats& before) const {
+    return {offloaded_points - before.offloaded_points, rejected_points - before.rejected_points,
+            batches - before.batches};
+  }
+};
+
 class DeviceDispatcher {
  public:
-  /// `queue_capacity` bounds the number of outstanding requests before
-  /// callers fall back to CPU.
-  explicit DeviceDispatcher(std::size_t queue_capacity = 16);
+  explicit DeviceDispatcher(DispatcherOptions options = {});
+
+  /// Completes every accepted submission (in-flight batches are drained, not
+  /// dropped), then joins the dispatcher thread. Unwaited tickets are safe:
+  /// their results are written before the destructor returns.
   ~DeviceDispatcher();
 
   DeviceDispatcher(const DeviceDispatcher&) = delete;
   DeviceDispatcher& operator=(const DeviceDispatcher&) = delete;
 
-  /// Attempts to run the evaluation on the device. Returns true when the
-  /// device accepted and completed the request (the call blocks until the
-  /// result is in `value`); false when the queue was full — the caller
-  /// should evaluate on its CPU kernel instead. `kernel` must stay alive for
-  /// the duration of the call.
+  /// Handle to one accepted submission; null (false) when the device
+  /// rejected it. wait() consumes the ticket.
+  class Ticket {
+   public:
+    Ticket() = default;
+    explicit operator bool() const { return req_ != nullptr; }
+
+   private:
+    friend class DeviceDispatcher;
+    struct Request;
+    explicit Ticket(std::shared_ptr<Request> req) : req_(std::move(req)) {}
+    std::shared_ptr<Request> req_;
+  };
+
+  /// Submits `npoints` contiguous evaluation points (x: npoints rows of
+  /// kernel.dim(); value: npoints rows of kernel.ndofs()) for asynchronous
+  /// device evaluation. Returns a null ticket when the queue is saturated —
+  /// evaluate the run on a CPU kernel instead. Both buffers and `kernel`
+  /// must stay alive until wait() returns (or the dispatcher is destroyed).
+  [[nodiscard]] Ticket try_submit(const kernels::InterpolationKernel& kernel, const double* x,
+                                  double* value, std::size_t npoints);
+
+  /// Blocks until the ticket's batch completed on the device. Null tickets
+  /// return immediately.
+  void wait(Ticket ticket);
+
+  /// Single-point convenience retained for point-granular callers: one
+  /// submission + wait. Returns false when the device rejected the point.
   bool try_offload(const kernels::InterpolationKernel& kernel, const double* x, double* value);
 
   [[nodiscard]] std::uint64_t offloaded() const { return offloaded_.load(); }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_.load(); }
+  [[nodiscard]] std::uint64_t batches() const { return batches_.load(); }
+  [[nodiscard]] DispatcherStats stats() const {
+    return {offloaded_.load(), rejected_.load(), batches_.load()};
+  }
+  [[nodiscard]] const DispatcherOptions& options() const { return opts_; }
 
  private:
-  struct Request {
-    const kernels::InterpolationKernel* kernel;
-    const double* x;
-    double* value;
-    bool done = false;
-  };
-
   void dispatch_loop();
+  void run_batch(const std::vector<std::shared_ptr<Ticket::Request>>& batch,
+                 std::size_t points, std::vector<double>& xbuf, std::vector<double>& vbuf);
 
-  const std::size_t capacity_;
+  DispatcherOptions opts_;
 
   std::mutex mu_;
-  std::condition_variable queue_cv_;    // dispatcher waits for work
-  std::condition_variable done_cv_;     // requesters wait for completion
-  std::deque<Request*> queue_;
+  std::condition_variable queue_cv_;  // dispatcher waits for work
+  std::condition_variable done_cv_;   // requesters wait for completion
+  std::deque<std::shared_ptr<Ticket::Request>> queue_;
+  std::size_t outstanding_points_ = 0;  // queued + in-flight
   bool stop_ = false;
 
   std::atomic<std::uint64_t> offloaded_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> batches_{0};
   std::thread dispatcher_;
 };
 

@@ -99,7 +99,7 @@ TEST(AsgPolicy, DeviceOffloadGivesIdenticalValues) {
   for (int z = 0; z < 2; ++z)
     dev.push_back(kernels::make_kernel(kernels::KernelKind::SimGpu, &policy.grid(z).dense(),
                                        &policy.grid(z).compressed()));
-  policy.attach_device(std::move(dev), 4);
+  policy.attach_device(std::move(dev), {.queue_capacity = 4, .max_batch = 2});
 
   for (int k = 0; k < 20; ++k) {
     std::vector<double> v(4);
@@ -109,6 +109,63 @@ TEST(AsgPolicy, DeviceOffloadGivesIdenticalValues) {
   }
   // With an idle queue every request should have been offloaded.
   EXPECT_GT(policy.device_offloaded(), 0u);
+}
+
+TEST(AsgPolicy, EvaluateBatchMatchesEvaluateBitIdentical) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(3, 3, 4, 41));
+  const AsgPolicy policy(4, std::move(grids));
+
+  constexpr std::size_t kPoints = 30;
+  util::Rng rng(11);
+  std::vector<double> xs(kPoints * 3);
+  for (auto& xi : xs) xi = rng.uniform();
+  std::vector<double> batched(kPoints * 4), single(4);
+
+  // CPU path (no device attached): one kernel evaluate_batch call.
+  policy.evaluate_batch(0, xs, batched, kPoints);
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    policy.evaluate(0, std::span<const double>(xs).subspan(k * 3, 3), single);
+    for (int dof = 0; dof < 4; ++dof)
+      EXPECT_EQ(batched[k * 4 + static_cast<std::size_t>(dof)],
+                single[static_cast<std::size_t>(dof)]) << "point " << k;
+  }
+}
+
+TEST(AsgPolicy, DeviceBatchPathIsBitIdenticalAndCounted) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(3, 3, 4, 51));
+  AsgPolicy policy(4, std::move(grids));
+
+  std::vector<std::unique_ptr<kernels::InterpolationKernel>> dev;
+  dev.push_back(kernels::make_kernel(kernels::KernelKind::SimGpu, &policy.grid(0).dense(),
+                                     &policy.grid(0).compressed()));
+  // Reference device kernel bound to the same grid, evaluated point by point.
+  const auto ref_dev = kernels::make_kernel(kernels::KernelKind::SimGpu, &policy.grid(0).dense(),
+                                            &policy.grid(0).compressed());
+  policy.attach_device(std::move(dev), {.queue_capacity = 256, .max_batch = 8});
+
+  constexpr std::size_t kPoints = 40;  // 5 chunks of max_batch = 8
+  util::Rng rng(13);
+  std::vector<double> xs(kPoints * 3);
+  for (auto& xi : xs) xi = rng.uniform();
+  std::vector<double> got(kPoints * 4);
+  policy.evaluate_batch(0, xs, got, kPoints);
+
+  // With an idle dispatcher every chunk lands on the device; the batched
+  // results must be bitwise what per-point device evaluation produces.
+  const parallel::DispatcherStats stats = policy.device_stats();
+  EXPECT_EQ(stats.offloaded_points + stats.rejected_points, kPoints);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_GE(stats.mean_batch(), 1.0);
+  ASSERT_EQ(stats.rejected_points, 0u) << "idle queue rejected a chunk";
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    std::vector<double> want(4);
+    ref_dev->evaluate(xs.data() + k * 3, want.data());
+    for (int dof = 0; dof < 4; ++dof)
+      EXPECT_EQ(got[k * 4 + static_cast<std::size_t>(dof)], want[static_cast<std::size_t>(dof)])
+          << "point " << k;
+  }
 }
 
 TEST(InitialPolicyEvaluatorTest, DelegatesToModel) {

@@ -192,6 +192,52 @@ TEST(TimeIteration, MultithreadedMatchesSequential) {
   EXPECT_NEAR(va[0], vb[0], 1e-13);
 }
 
+TEST(TimeIteration, DeviceOffloadPipelineMatchesCpuAndReportsCounters) {
+  const ContractionModel model(2, 2, 0.5);
+  TimeIterationOptions cpu;
+  cpu.base_level = 3;
+  cpu.max_iterations = 4;
+  cpu.tolerance = 0.0;
+  TimeIterationOptions dev = cpu;
+  dev.use_device = true;
+  dev.offload.max_batch = 8;
+  dev.threads = 2;
+
+  const auto a = solve_time_iteration(model, cpu);
+  const auto b = solve_time_iteration(model, dev);
+
+  // The device kernel is numerically equivalent (not bitwise — different
+  // summation order than the CPU kernel), so trajectories agree tightly.
+  for (std::size_t it = 0; it < 4; ++it)
+    EXPECT_NEAR(a.history[it].policy_change_linf, b.history[it].policy_change_linf, 1e-10);
+
+  // Iteration 0 interpolates through the analytic initial policy (no
+  // device); from iteration 1 on, p_next is an AsgPolicy with an attached
+  // dispatcher and the batched warm-start path must show up in the offload
+  // counters with batches of more than one point.
+  for (std::size_t it = 1; it < b.history.size(); ++it) {
+    const auto& st = b.history[it];
+    EXPECT_GT(st.device_offloaded + st.device_rejected, 0u) << "iteration " << it;
+    if (st.device_batches > 0) {
+      EXPECT_GE(st.device_mean_batch, 1.0);
+    }
+  }
+  std::uint64_t total_offloaded = 0;
+  double best_mean_batch = 0.0;
+  for (const auto& st : b.history) {
+    total_offloaded += st.device_offloaded;
+    best_mean_batch = std::max(best_mean_batch, st.device_mean_batch);
+  }
+  EXPECT_GT(total_offloaded, 0u);
+  EXPECT_GT(best_mean_batch, 1.0) << "warm starts never batched";
+
+  // CPU runs report no device activity.
+  for (const auto& st : a.history) {
+    EXPECT_EQ(st.device_offloaded, 0u);
+    EXPECT_EQ(st.device_batches, 0u);
+  }
+}
+
 TEST(TimeIteration, RejectsBadOptions) {
   const ContractionModel model(2, 2, 0.5);
   TimeIterationOptions opts;

@@ -1,8 +1,14 @@
+// Tests of the batched async device-offload pipeline (DESIGN.md, "Batched
+// device-offload pipeline"): bit-identical batch-vs-single-point parity,
+// capacity rejection with CPU fallback, clean shutdown with in-flight
+// batches, and a ThreadSanitizer/ASan-friendly stress test (no sleeps, no
+// unsynchronized shared state) exercised by the -DHDDM_SANITIZE=ON CI leg.
 #include "parallel/device_dispatcher.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <thread>
 
 #include "core/compression.hpp"
@@ -12,8 +18,11 @@
 namespace hddm::parallel {
 namespace {
 
+constexpr int kDim = 3;
+constexpr int kDofs = 4;
+
 struct Fixture {
-  sg::GridStorage storage{3};
+  sg::GridStorage storage{kDim};
   sg::DenseGridData dense;
   core::CompressedGridData compressed;
   std::unique_ptr<kernels::InterpolationKernel> device;
@@ -21,78 +30,251 @@ struct Fixture {
 
   Fixture() {
     sg::build_regular_grid(storage, 3);
-    dense = sg::make_dense_grid(storage, 4);
+    dense = sg::make_dense_grid(storage, kDofs);
     util::Rng rng(8);
     for (auto& s : dense.surplus) s = rng.uniform(-1, 1);
     compressed = core::compress(dense);
     device = kernels::make_kernel(kernels::KernelKind::SimGpu, &dense, &compressed);
     cpu = kernels::make_kernel(kernels::KernelKind::X86, &dense, &compressed);
   }
+
+  [[nodiscard]] std::vector<double> random_points(std::size_t n, std::uint64_t seed) const {
+    util::Rng rng(seed);
+    std::vector<double> xs(n * kDim);
+    for (auto& xi : xs) xi = rng.uniform();
+    return xs;
+  }
 };
 
-TEST(Dispatcher, OffloadProducesCorrectResult) {
+// The core acceptance property: a run of points submitted as one batch
+// ticket produces bitwise the same values as per-point evaluate() on the
+// same kernel — the dispatcher's staging/coalescing never perturbs results.
+TEST(Dispatcher, BatchedMatchesSinglePointBitIdentical) {
   Fixture fx;
-  DeviceDispatcher dispatcher(4);
-  util::Rng rng(3);
-  std::vector<double> x = rng.uniform_point(3);
-  std::vector<double> dev_value(4), cpu_value(4);
-  ASSERT_TRUE(dispatcher.try_offload(*fx.device, x.data(), dev_value.data()));
-  fx.cpu->evaluate(x.data(), cpu_value.data());
-  for (int dof = 0; dof < 4; ++dof) EXPECT_NEAR(dev_value[dof], cpu_value[dof], 1e-12);
-  EXPECT_EQ(dispatcher.offloaded(), 1u);
+  for (const std::size_t npoints : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    DeviceDispatcher dispatcher({/*queue_capacity=*/256, /*max_batch=*/16});
+    const std::vector<double> xs = fx.random_points(npoints, 100 + npoints);
+    std::vector<double> batched(npoints * kDofs), single(npoints * kDofs);
+
+    auto ticket = dispatcher.try_submit(*fx.device, xs.data(), batched.data(), npoints);
+    ASSERT_TRUE(ticket);
+    dispatcher.wait(std::move(ticket));
+
+    for (std::size_t k = 0; k < npoints; ++k)
+      fx.device->evaluate(xs.data() + k * kDim, single.data() + k * kDofs);
+
+    for (std::size_t i = 0; i < batched.size(); ++i)
+      EXPECT_EQ(batched[i], single[i]) << "npoints=" << npoints << " value " << i;
+    EXPECT_EQ(dispatcher.offloaded(), npoints);
+  }
 }
 
-TEST(Dispatcher, ManyConcurrentRequesters) {
+// Coalesced submissions (several tickets fused into shared launches) must
+// keep the same bitwise guarantee.
+TEST(Dispatcher, CoalescedSubmissionsStayBitIdentical) {
   Fixture fx;
-  DeviceDispatcher dispatcher(8);
-  std::atomic<int> wrong{0};
-  std::atomic<std::uint64_t> cpu_fallbacks{0};
+  DeviceDispatcher dispatcher({/*queue_capacity=*/1024, /*max_batch=*/32});
+  constexpr std::size_t kTickets = 24;
+  constexpr std::size_t kPerTicket = 5;
+  const std::vector<double> xs = fx.random_points(kTickets * kPerTicket, 17);
+  std::vector<double> got(kTickets * kPerTicket * kDofs);
 
-  std::vector<std::thread> threads;
-  for (int t = 0; t < 6; ++t) {
-    threads.emplace_back([&, t] {
-      util::Rng rng(50 + t);
-      std::vector<double> x(3), got(4), want(4);
-      for (int trial = 0; trial < 100; ++trial) {
-        for (auto& xi : x) xi = rng.uniform();
-        if (!dispatcher.try_offload(*fx.device, x.data(), got.data())) {
-          fx.cpu->evaluate(x.data(), got.data());
-          cpu_fallbacks.fetch_add(1);
-        }
-        fx.cpu->evaluate(x.data(), want.data());
-        for (int dof = 0; dof < 4; ++dof)
-          if (std::fabs(got[dof] - want[dof]) > 1e-12) wrong.fetch_add(1);
-      }
-    });
+  // Submit everything first (letting the dispatcher accumulate), wait once
+  // per ticket afterwards — the worker-side pattern of the pipeline.
+  std::vector<DeviceDispatcher::Ticket> tickets;
+  for (std::size_t t = 0; t < kTickets; ++t) {
+    auto ticket = dispatcher.try_submit(*fx.device, xs.data() + t * kPerTicket * kDim,
+                                        got.data() + t * kPerTicket * kDofs, kPerTicket);
+    ASSERT_TRUE(ticket);
+    tickets.push_back(std::move(ticket));
   }
-  for (auto& th : threads) th.join();
-  EXPECT_EQ(wrong.load(), 0);
-  EXPECT_EQ(dispatcher.offloaded() + cpu_fallbacks.load(), 600u);
-  EXPECT_EQ(dispatcher.rejected(), cpu_fallbacks.load());
+  for (auto& t : tickets) dispatcher.wait(std::move(t));
+
+  for (std::size_t k = 0; k < kTickets * kPerTicket; ++k) {
+    std::vector<double> want(kDofs);
+    fx.device->evaluate(xs.data() + k * kDim, want.data());
+    for (int dof = 0; dof < kDofs; ++dof)
+      EXPECT_EQ(got[k * kDofs + static_cast<std::size_t>(dof)],
+                want[static_cast<std::size_t>(dof)]) << "point " << k;
+  }
+  EXPECT_EQ(dispatcher.offloaded(), kTickets * kPerTicket);
+  EXPECT_GE(dispatcher.batches(), 1u);
+  EXPECT_LE(dispatcher.batches(), kTickets);  // never more launches than tickets
+  EXPECT_GE(dispatcher.stats().mean_batch(), 1.0);
 }
 
-TEST(Dispatcher, TinyQueueForcesFallbacks) {
+// An oversized single submission is admitted but drained in max_batch-sized
+// launches — max_batch really caps the per-launch point count.
+TEST(Dispatcher, OversizedSubmissionIsSlicedIntoMaxBatchLaunches) {
   Fixture fx;
-  DeviceDispatcher dispatcher(1);
-  std::atomic<std::uint64_t> fallbacks{0};
-  std::vector<std::thread> threads;
-  for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&, t] {
-      util::Rng rng(99 + t);
-      std::vector<double> x(3), v(4);
-      for (int trial = 0; trial < 50; ++trial) {
-        for (auto& xi : x) xi = rng.uniform();
-        if (!dispatcher.try_offload(*fx.device, x.data(), v.data())) fallbacks.fetch_add(1);
-      }
-    });
+  DeviceDispatcher dispatcher({/*queue_capacity=*/256, /*max_batch=*/16});
+  constexpr std::size_t kPoints = 64;
+  const std::vector<double> xs = fx.random_points(kPoints, 23);
+  std::vector<double> got(kPoints * kDofs);
+
+  auto ticket = dispatcher.try_submit(*fx.device, xs.data(), got.data(), kPoints);
+  ASSERT_TRUE(ticket);
+  dispatcher.wait(std::move(ticket));
+
+  EXPECT_EQ(dispatcher.offloaded(), kPoints);
+  EXPECT_EQ(dispatcher.batches(), kPoints / 16);
+  for (std::size_t k = 0; k < kPoints; ++k) {
+    std::vector<double> want(kDofs);
+    fx.device->evaluate(xs.data() + k * kDim, want.data());
+    for (int dof = 0; dof < kDofs; ++dof)
+      EXPECT_EQ(got[k * kDofs + static_cast<std::size_t>(dof)], want[static_cast<std::size_t>(dof)]);
   }
-  for (auto& th : threads) th.join();
-  EXPECT_EQ(dispatcher.offloaded() + fallbacks.load(), 200u);
+}
+
+// A submission that does not fit the outstanding-point capacity returns a
+// null ticket; the caller evaluates on its CPU kernel — graceful partial
+// offload, with the rejection counted in points.
+TEST(Dispatcher, CapacityRejectionFallsBackToCpu) {
+  Fixture fx;
+  DeviceDispatcher dispatcher({/*queue_capacity=*/8, /*max_batch=*/8});
+  const std::vector<double> xs = fx.random_points(16, 31);
+  std::vector<double> got(16 * kDofs);
+
+  auto ticket = dispatcher.try_submit(*fx.device, xs.data(), got.data(), 16);
+  EXPECT_FALSE(ticket);
+  EXPECT_EQ(dispatcher.rejected(), 16u);
+  EXPECT_EQ(dispatcher.offloaded(), 0u);
+
+  // CPU fallback produces the values the caller needs.
+  fx.cpu->evaluate_batch(xs.data(), got.data(), 16);
+  for (std::size_t k = 0; k < 16; ++k) {
+    std::vector<double> want(kDofs);
+    fx.cpu->evaluate(xs.data() + k * kDim, want.data());
+    for (int dof = 0; dof < kDofs; ++dof)
+      EXPECT_EQ(got[k * kDofs + static_cast<std::size_t>(dof)], want[static_cast<std::size_t>(dof)]);
+  }
+}
+
+// Destroying the dispatcher with accepted-but-unwaited tickets must drain
+// the in-flight batches (results written) before the thread joins — never
+// drop or deadlock.
+TEST(Dispatcher, CleanShutdownWithInFlightBatches) {
+  Fixture fx;
+  constexpr std::size_t kTickets = 8;
+  constexpr std::size_t kPerTicket = 4;
+  const std::vector<double> xs = fx.random_points(kTickets * kPerTicket, 47);
+  std::vector<double> got(kTickets * kPerTicket * kDofs, -1.0);
+  {
+    DeviceDispatcher dispatcher({/*queue_capacity=*/1024, /*max_batch=*/8});
+    for (std::size_t t = 0; t < kTickets; ++t) {
+      auto ticket = dispatcher.try_submit(*fx.device, xs.data() + t * kPerTicket * kDim,
+                                          got.data() + t * kPerTicket * kDofs, kPerTicket);
+      ASSERT_TRUE(ticket);
+      // Tickets intentionally dropped without wait().
+    }
+  }  // ~DeviceDispatcher completes every accepted batch.
+  for (std::size_t k = 0; k < kTickets * kPerTicket; ++k) {
+    std::vector<double> want(kDofs);
+    fx.device->evaluate(xs.data() + k * kDim, want.data());
+    for (int dof = 0; dof < kDofs; ++dof)
+      EXPECT_EQ(got[k * kDofs + static_cast<std::size_t>(dof)], want[static_cast<std::size_t>(dof)]);
+  }
+}
+
+// queue_capacity below max_batch is raised to it, so a caller chunking at
+// max_batch (AsgPolicy does) is never starved into permanent CPU fallback.
+TEST(Dispatcher, CapacityIsRaisedToMaxBatch) {
+  Fixture fx;
+  DeviceDispatcher dispatcher({/*queue_capacity=*/4, /*max_batch=*/32});
+  EXPECT_EQ(dispatcher.options().queue_capacity, 32u);
+  const std::vector<double> xs = fx.random_points(32, 59);
+  std::vector<double> got(32 * kDofs);
+  auto ticket = dispatcher.try_submit(*fx.device, xs.data(), got.data(), 32);
+  EXPECT_TRUE(ticket);  // a full-size batch fits an idle queue
+  dispatcher.wait(std::move(ticket));
+  EXPECT_EQ(dispatcher.offloaded(), 32u);
 }
 
 TEST(Dispatcher, CleanShutdownWithNoRequests) {
-  DeviceDispatcher dispatcher(4);
+  DeviceDispatcher dispatcher({/*queue_capacity=*/4, /*max_batch=*/4});
   EXPECT_EQ(dispatcher.offloaded(), 0u);
+  EXPECT_EQ(dispatcher.batches(), 0u);
+}
+
+// The retained single-point convenience path (one submission + wait) still
+// matches the CPU kernel and counts into the same statistics.
+TEST(Dispatcher, SinglePointOffloadProducesCorrectResult) {
+  Fixture fx;
+  DeviceDispatcher dispatcher({/*queue_capacity=*/4, /*max_batch=*/4});
+  util::Rng rng(3);
+  const std::vector<double> x = rng.uniform_point(kDim);
+  std::vector<double> dev_value(kDofs), cpu_value(kDofs);
+  ASSERT_TRUE(dispatcher.try_offload(*fx.device, x.data(), dev_value.data()));
+  fx.cpu->evaluate(x.data(), cpu_value.data());
+  for (int dof = 0; dof < kDofs; ++dof)
+    EXPECT_NEAR(dev_value[static_cast<std::size_t>(dof)], cpu_value[static_cast<std::size_t>(dof)],
+                1e-12);
+  EXPECT_EQ(dispatcher.offloaded(), 1u);
+  EXPECT_EQ(dispatcher.batches(), 1u);
+}
+
+// Stress: many workers mixing batch submissions, single-point offloads, and
+// CPU fallbacks on a deliberately tight queue. Verifies values against the
+// worker's own kernel choice and point-count conservation across the
+// counters. Runs under TSan/ASan in the sanitizer CI leg: all cross-thread
+// state is either dispatcher-internal or thread-local.
+TEST(Dispatcher, StressManyThreadsManyBatches) {
+  Fixture fx;
+  DeviceDispatcher dispatcher({/*queue_capacity=*/64, /*max_batch=*/16});
+  constexpr int kThreads = 6;
+  constexpr int kTrials = 40;
+  std::atomic<int> wrong{0};
+  std::atomic<std::uint64_t> cpu_points{0};
+  std::atomic<std::uint64_t> total_points{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(500 + static_cast<std::uint64_t>(t));
+      for (int trial = 0; trial < kTrials; ++trial) {
+        const std::size_t n = 1 + (static_cast<std::size_t>(rng.next_u64()) % 12);
+        std::vector<double> xs(n * kDim);
+        for (auto& xi : xs) xi = rng.uniform();
+        std::vector<double> got(n * kDofs);
+        total_points.fetch_add(n);
+
+        bool on_device = false;
+        if (trial % 3 == 0 && n == 1) {
+          on_device = dispatcher.try_offload(*fx.device, xs.data(), got.data());
+          if (!on_device) fx.cpu->evaluate_batch(xs.data(), got.data(), n);
+        } else {
+          auto ticket = dispatcher.try_submit(*fx.device, xs.data(), got.data(), n);
+          on_device = static_cast<bool>(ticket);
+          if (on_device)
+            dispatcher.wait(std::move(ticket));
+          else
+            fx.cpu->evaluate_batch(xs.data(), got.data(), n);
+        }
+        if (!on_device) cpu_points.fetch_add(n);
+
+        // Bitwise check against the kernel that actually served the run.
+        const kernels::InterpolationKernel& served = on_device ? *fx.device : *fx.cpu;
+        for (std::size_t k = 0; k < n; ++k) {
+          std::vector<double> want(kDofs);
+          served.evaluate(xs.data() + k * kDim, want.data());
+          for (int dof = 0; dof < kDofs; ++dof) {
+            if (got[k * kDofs + static_cast<std::size_t>(dof)] !=
+                want[static_cast<std::size_t>(dof)])
+              wrong.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(dispatcher.offloaded() + cpu_points.load(), total_points.load());
+  EXPECT_EQ(dispatcher.rejected(), cpu_points.load());
+  if (dispatcher.batches() > 0) {
+    EXPECT_GE(dispatcher.stats().mean_batch(), 1.0);
+  }
 }
 
 }  // namespace
