@@ -150,6 +150,7 @@ BuiltState build_state_distributed(SimComm group, int z, const core::DynamicMode
       core::PointSolveResult res = model.solve_point(z, x_unit, p_next, warm);
       if (!res.converged) ++built.failures;
       stats.interpolations += static_cast<std::uint64_t>(res.interpolations);
+      stats.solver_gathers += static_cast<std::uint64_t>(res.gathers);
       std::copy(res.dofs.begin(), res.dofs.end(),
                 my_values.begin() + static_cast<std::ptrdiff_t>((k - mine.begin) * nd));
 
@@ -208,11 +209,15 @@ std::shared_ptr<AsgPolicy> distributed_step(SimComm world, const core::DynamicMo
   const int Ns = model.num_shocks();
   const int nranks = world.size();
 
-  // This rank's offload counters are cumulative on p_next's dispatcher;
-  // report the step's contribution as a delta (cf. TimeIterationDriver).
+  // Strict per-step reporting (cf. TimeIterationDriver::step): zero the
+  // accumulators, then report this rank's offload/gather contribution as a
+  // delta of p_next's cumulative counters.
+  stats.reset_for_step();
   const auto* prev_asg = dynamic_cast<const AsgPolicy*>(&p_next);
   const parallel::DispatcherStats device_before =
       prev_asg ? prev_asg->device_stats() : parallel::DispatcherStats{};
+  const core::GatherStats gather_before =
+      prev_asg ? prev_asg->gather_stats() : core::GatherStats{};
 
   // State-to-rank mapping: proportional groups when ranks are plentiful,
   // round-robin state sharing otherwise.
@@ -261,7 +266,10 @@ std::shared_ptr<AsgPolicy> distributed_step(SimComm world, const core::DynamicMo
 
   world.barrier();  // footnote 4's MPI_Barrier(MPI_COMM_WORLD)
 
-  if (prev_asg) stats.record_device_delta(prev_asg->device_stats().since(device_before));
+  if (prev_asg) {
+    stats.record_device_delta(prev_asg->device_stats().since(device_before));
+    stats.record_gather_delta(prev_asg->gather_stats().since(gather_before));
+  }
 
   auto policy = std::make_shared<AsgPolicy>(model.ndofs(), std::move(grids));
   // One dispatcher per rank — each in-process rank models a hybrid node

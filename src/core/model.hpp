@@ -10,12 +10,28 @@
 // p_next.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "sparse_grid/domain.hpp"
 
 namespace hddm::core {
+
+/// One element of a gathered policy evaluation: evaluate shock `z`'s policy
+/// at row `point` of the request block's coordinate buffer. Several requests
+/// may reference the same row (the Newton-internal pattern: every successor
+/// shock of a trial point interpolates at the same next-period state).
+struct GatherRequest {
+  std::int32_t z = 0;      ///< discrete shock whose policy to evaluate
+  std::uint32_t point = 0;  ///< row into xs (npoints rows of state_dim)
+};
+
+/// Counters a model's residual machinery reports out of one point solve.
+struct EvalCounters {
+  int interpolations = 0;  ///< policy point-evaluations consumed
+  int gathers = 0;         ///< evaluate_gather entry-point calls issued
+};
 
 /// Read-side view of a policy p = (p(z=1,.), ..., p(z=Ns,.)): evaluates all
 /// ndofs coefficients of shock z's policy at a unit-cube point. Must be
@@ -42,6 +58,32 @@ class PolicyEvaluator {
     for (std::size_t k = 0; k < npoints; ++k)
       evaluate(z, xs.subspan(k * d, d), out.subspan(k * nd, nd));
   }
+
+  /// Gathered evaluation across shocks — the per-solve entry point of the
+  /// interpolation amortization: a Newton residual (or a whole
+  /// finite-difference Jacobian sweep) collects every successor-shock
+  /// request it needs and issues them in one call. Request i fills
+  /// out[i*out_stride .. i*out_stride + ndofs); `xs` holds `npoints` rows of
+  /// the state dimension and requests may repeat rows. `out_stride` must be
+  /// >= ndofs.
+  ///
+  /// Contract: results are bit-identical to looping evaluate() over the
+  /// requests when both resolve to the same kernel — always true without an
+  /// attached device; with one, chunks the saturated device refuses fall
+  /// back to the CPU kernel exactly as evaluate_batch does (numerically
+  /// equivalent, same caveat as the batch contract). The default loops
+  /// evaluate(); AsgPolicy overrides it to route each shock's requests
+  /// through evaluate_batch and therefore the offload pipeline.
+  virtual void evaluate_gather(std::span<const GatherRequest> requests,
+                               std::span<const double> xs, std::size_t npoints,
+                               std::span<double> out, std::size_t out_stride) const {
+    if (requests.empty() || npoints == 0) return;
+    const std::size_t d = xs.size() / npoints;
+    const auto nd = static_cast<std::size_t>(ndofs());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      evaluate(requests[i].z, xs.subspan(requests[i].point * d, d),
+               out.subspan(i * out_stride, nd));
+  }
 };
 
 /// Result of one grid-point equilibrium solve.
@@ -50,7 +92,8 @@ struct PointSolveResult {
   bool converged = false;
   int solver_iterations = 0;
   double residual_norm = 0.0;
-  int interpolations = 0;  ///< p_next evaluations consumed (the 99% cost)
+  int interpolations = 0;  ///< p_next point-evaluations consumed (the 99% cost)
+  int gathers = 0;         ///< evaluate_gather calls that carried them
 };
 
 /// A dynamic stochastic model solvable by time iteration (Algorithm 1).

@@ -60,6 +60,55 @@ void AsgPolicy::evaluate_batch(int z, std::span<const double> xs, std::span<doub
   for (auto& ticket : tickets) dispatcher_->wait(std::move(ticket));
 }
 
+void AsgPolicy::evaluate_gather(std::span<const GatherRequest> requests,
+                                std::span<const double> xs, std::size_t npoints,
+                                std::span<double> out, std::size_t out_stride) const {
+  if (requests.empty() || npoints == 0) return;
+  gathers_.fetch_add(1, std::memory_order_relaxed);
+  gathered_requests_.fetch_add(requests.size(), std::memory_order_relaxed);
+
+  const std::size_t d = xs.size() / npoints;
+  const auto nd = static_cast<std::size_t>(ndofs_);
+  const std::size_t Ns = grids_.size();
+
+  // Stable counting sort of the requests by shock: `order[offset[z] + k]` is
+  // the index (into `requests`/`out`) of shock z's k-th request in call
+  // order. Scratch is thread_local — this runs inside every Newton residual
+  // evaluation of every worker.
+  thread_local std::vector<std::size_t> count, offset, order;
+  thread_local std::vector<double> xbuf, vbuf;
+  count.assign(Ns, 0);
+  for (const GatherRequest& r : requests) ++count[static_cast<std::size_t>(r.z)];
+  offset.assign(Ns + 1, 0);
+  for (std::size_t z = 0; z < Ns; ++z) offset[z + 1] = offset[z] + count[z];
+  order.resize(requests.size());
+  count.assign(Ns, 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto z = static_cast<std::size_t>(requests[i].z);
+    order[offset[z] + count[z]++] = i;
+  }
+
+  // One evaluate_batch per populated shock: the bucket's coordinate rows are
+  // staged contiguously, drained through the batch entry point (and with an
+  // attached device, the ticketed offload pipeline), and the resulting rows
+  // scattered back to each request's out slot. Staging copies are bitwise,
+  // so the evaluate() bit-identity contract survives the round trip.
+  for (std::size_t z = 0; z < Ns; ++z) {
+    const std::size_t n = offset[z + 1] - offset[z];
+    if (n == 0) continue;
+    xbuf.resize(n * d);
+    vbuf.resize(n * nd);
+    for (std::size_t k = 0; k < n; ++k) {
+      const GatherRequest& r = requests[order[offset[z] + k]];
+      std::copy_n(xs.data() + static_cast<std::size_t>(r.point) * d, d, xbuf.begin() + static_cast<std::ptrdiff_t>(k * d));
+    }
+    evaluate_batch(static_cast<int>(z), xbuf, vbuf, n);
+    for (std::size_t k = 0; k < n; ++k)
+      std::copy_n(vbuf.begin() + static_cast<std::ptrdiff_t>(k * nd), nd,
+                  out.begin() + static_cast<std::ptrdiff_t>(order[offset[z] + k] * out_stride));
+  }
+}
+
 std::uint32_t AsgPolicy::total_points() const {
   std::uint32_t total = 0;
   for (const auto& g : grids_) total += g->num_points();

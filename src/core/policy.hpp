@@ -7,6 +7,8 @@
 // dispatcher partially offloads evaluations (Sec. IV-A's hybrid scheme).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -19,6 +21,25 @@
 #include "sparse_grid/grid_storage.hpp"
 
 namespace hddm::core {
+
+/// Monotonic counters of the per-solve gather entry point (evaluate_gather
+/// traffic on one policy object) — the counterpart of DispatcherStats one
+/// layer up: gathers collapsing to ~1 per residual evaluation while
+/// gathered_requests stays at Ns x residual evaluations is the per-solve
+/// amortization working.
+struct GatherStats {
+  std::uint64_t gathers = 0;            ///< evaluate_gather calls served
+  std::uint64_t gathered_requests = 0;  ///< requests carried by those calls
+  [[nodiscard]] double mean_requests() const {
+    return gathers == 0 ? 0.0
+                        : static_cast<double>(gathered_requests) / static_cast<double>(gathers);
+  }
+  /// Counter delta relative to an earlier snapshot of the same policy (how
+  /// the per-iteration stats in core::IterationStats are derived).
+  [[nodiscard]] GatherStats since(const GatherStats& before) const {
+    return {gathers - before.gathers, gathered_requests - before.gathered_requests};
+  }
+};
 
 /// One shock's ASG: points + surpluses in both storage formats + kernel.
 class ShockGrid {
@@ -61,6 +82,24 @@ class AsgPolicy final : public PolicyEvaluator {
   void evaluate_batch(int z, std::span<const double> xs, std::span<double> out,
                       std::size_t npoints) const override;
 
+  /// Gathered evaluation (see PolicyEvaluator::evaluate_gather for the
+  /// bit-identity contract): requests are bucketed by shock — stably, so the
+  /// scatter order is deterministic — and each shock's bucket goes through
+  /// evaluate_batch, i.e. one kernel batch on the CPU or ticketed chunks on
+  /// the offload pipeline. One gather therefore replaces
+  /// requests.size() per-point evaluate() calls with at most num_shocks()
+  /// batched runs.
+  void evaluate_gather(std::span<const GatherRequest> requests, std::span<const double> xs,
+                       std::size_t npoints, std::span<double> out,
+                       std::size_t out_stride) const override;
+
+  /// Cumulative evaluate_gather traffic on this policy (thread-safe; the
+  /// drivers report per-iteration deltas of these, like the device stats).
+  [[nodiscard]] GatherStats gather_stats() const {
+    return {gathers_.load(std::memory_order_relaxed),
+            gathered_requests_.load(std::memory_order_relaxed)};
+  }
+
   [[nodiscard]] const ShockGrid& grid(int z) const { return *grids_[static_cast<std::size_t>(z)]; }
   [[nodiscard]] std::uint32_t total_points() const;
   [[nodiscard]] std::vector<std::uint32_t> points_per_shock() const;
@@ -87,6 +126,27 @@ class AsgPolicy final : public PolicyEvaluator {
   // all served by one dispatcher thread (the "GPU thread" of Fig. 2).
   std::vector<std::unique_ptr<kernels::InterpolationKernel>> device_kernels_;
   std::unique_ptr<parallel::DeviceDispatcher> dispatcher_;
+  // Gather traffic counters (relaxed: diagnostics, not synchronization).
+  mutable std::atomic<std::uint64_t> gathers_{0};
+  mutable std::atomic<std::uint64_t> gathered_requests_{0};
+};
+
+/// Per-point view of another evaluator: forwards evaluate() but keeps the
+/// PolicyEvaluator default evaluate_batch/evaluate_gather loops — the
+/// pre-gather scalar regime. Parity tests and bench_gather wrap the same
+/// AsgPolicy in this view to pit gathered against per-shock scalar
+/// evaluation bit for bit.
+class ScalarPolicyView final : public PolicyEvaluator {
+ public:
+  explicit ScalarPolicyView(const PolicyEvaluator& inner) : inner_(inner) {}
+  [[nodiscard]] int num_shocks() const override { return inner_.num_shocks(); }
+  [[nodiscard]] int ndofs() const override { return inner_.ndofs(); }
+  void evaluate(int z, std::span<const double> x_unit, std::span<double> out) const override {
+    inner_.evaluate(z, x_unit, out);
+  }
+
+ private:
+  const PolicyEvaluator& inner_;
 };
 
 /// Iteration-0 policy: wraps DynamicModel::initial_policy.

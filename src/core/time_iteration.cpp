@@ -40,6 +40,7 @@ TimeIterationDriver::BuiltShock TimeIterationDriver::build_shock(int z,
   BuiltShock built;
   std::atomic<std::uint32_t> failures{0};
   std::atomic<std::uint64_t> interpolations{0};
+  std::atomic<std::uint64_t> gathers{0};
   std::atomic<double> linf_acc{stats.policy_change_linf};
   std::atomic<double> l2_acc{stats.policy_change_l2};
 
@@ -118,6 +119,8 @@ TimeIterationDriver::BuiltShock TimeIterationDriver::build_shock(int z,
             if (!res.converged) failures.fetch_add(1, std::memory_order_relaxed);
             interpolations.fetch_add(static_cast<std::uint64_t>(res.interpolations),
                                      std::memory_order_relaxed);
+            gathers.fetch_add(static_cast<std::uint64_t>(res.gathers),
+                              std::memory_order_relaxed);
             std::copy(res.dofs.begin(), res.dofs.end(), dense.surplus_row(id));
 
             // Policy-change metric: normalized difference to p_next at the
@@ -173,6 +176,7 @@ TimeIterationDriver::BuiltShock TimeIterationDriver::build_shock(int z,
   stats.policy_change_l2 = l2_acc.load();
   built.solver_failures = failures.load();
   built.interpolations = interpolations.load();
+  built.gathers = gathers.load();
   built.grid = std::make_unique<ShockGrid>(storage, nd,
                                            std::span<const double>(dense.surplus.data(),
                                                                    dense.surplus.size()),
@@ -185,14 +189,16 @@ std::shared_ptr<AsgPolicy> TimeIterationDriver::step(const PolicyEvaluator& p_ne
   const util::Timer timer;
   const int Ns = model_.num_shocks();
 
-  stats.policy_change_l2 = 0.0;
-  stats.policy_change_linf = 0.0;
+  // Strict per-iteration reporting: zero every accumulator up front (a
+  // reused stats object must not carry earlier steps' counts into this one).
+  stats.reset_for_step();
 
-  // Offload counters are cumulative on p_next's dispatcher; report this
-  // iteration's contribution as a delta.
+  // Offload and gather counters are cumulative on p_next; report this
+  // iteration's contribution as a delta of the snapshots taken here.
   const auto* prev_asg = dynamic_cast<const AsgPolicy*>(&p_next);
   const parallel::DispatcherStats device_before =
       prev_asg ? prev_asg->device_stats() : parallel::DispatcherStats{};
+  const GatherStats gather_before = prev_asg ? prev_asg->gather_stats() : GatherStats{};
 
   std::vector<std::unique_ptr<ShockGrid>> grids(static_cast<std::size_t>(Ns));
   // The top parallel layer (shocks -> MPI groups) lives in src/cluster/;
@@ -203,11 +209,15 @@ std::shared_ptr<AsgPolicy> TimeIterationDriver::step(const PolicyEvaluator& p_ne
     BuiltShock built = build_shock(z, p_next, stats);
     stats.solver_failures += built.solver_failures;
     stats.interpolations += built.interpolations;
+    stats.solver_gathers += built.gathers;
     total_points += built.grid->num_points();
     grids[static_cast<std::size_t>(z)] = std::move(built.grid);
   }
 
-  if (prev_asg) stats.record_device_delta(prev_asg->device_stats().since(device_before));
+  if (prev_asg) {
+    stats.record_device_delta(prev_asg->device_stats().since(device_before));
+    stats.record_gather_delta(prev_asg->gather_stats().since(gather_before));
+  }
 
   auto policy = std::make_shared<AsgPolicy>(model_.ndofs(), std::move(grids));
   if (opts_.use_device) policy->attach_default_device(opts_.device_kernel, opts_.offload);
@@ -251,8 +261,9 @@ TimeIterationResult TimeIterationDriver::run() {
     if (on_iteration) on_iteration(stats);
     util::log_info("time-iteration it=", it, " points=", stats.total_points,
                    " dlinf=", stats.policy_change_linf, " dl2=", stats.policy_change_l2,
-                   " fails=", stats.solver_failures, " offl=", stats.device_offloaded,
-                   " batches=", stats.device_batches, " secs=", stats.seconds);
+                   " fails=", stats.solver_failures, " gathers=", stats.solver_gathers,
+                   " offl=", stats.device_offloaded, " batches=", stats.device_batches,
+                   " secs=", stats.seconds);
 
     current = std::move(next);
     p_next = current.get();

@@ -53,6 +53,11 @@ struct TimeIterationOptions {
   std::uint64_t seed = 42;
 };
 
+/// Per-iteration statistics. Every field is a delta of exactly one step():
+/// both drivers reset the struct at entry (keeping `iteration`) and report
+/// dispatcher/gather counters as deltas of p_next's cumulative totals, so a
+/// multi-step run never re-reports an earlier iteration's work — even when
+/// the caller reuses one stats object across steps.
 struct IterationStats {
   int iteration = 0;
   double policy_change_l2 = 0.0;    ///< RMS change over grid points (asset dofs)
@@ -62,11 +67,17 @@ struct IterationStats {
   std::vector<std::uint32_t> points_per_shock;
   std::uint32_t solver_failures = 0;
   std::uint64_t interpolations = 0;
+  // Per-solve gather counters (from the models' PointSolveResult plus the
+  // policy-level delta of p_next's evaluate_gather traffic).
+  std::uint64_t solver_gathers = 0;    ///< gathers issued inside point solves
+  std::uint64_t policy_gathers = 0;    ///< evaluate_gather calls p_next served
+  std::uint64_t gathered_requests = 0; ///< interpolations those calls carried
   // Offload-pipeline counters for this iteration (deltas of p_next's
   // dispatcher counters; zero when p_next has no device attached).
   std::uint64_t device_offloaded = 0;  ///< points served by the device
   std::uint64_t device_rejected = 0;   ///< points refused (CPU fallback)
   std::uint64_t device_batches = 0;    ///< device launches
+  std::uint64_t device_runs = 0;       ///< accepted ticketed submissions
   double device_mean_batch = 0.0;      ///< offloaded / launches
   /// Fills the device_* fields from a dispatcher counter delta (both
   /// drivers report per-step deltas of p_next's cumulative counters).
@@ -74,7 +85,20 @@ struct IterationStats {
     device_offloaded = delta.offloaded_points;
     device_rejected = delta.rejected_points;
     device_batches = delta.batches;
+    device_runs = delta.submitted_runs;
     device_mean_batch = delta.mean_batch();
+  }
+  /// Fills the policy gather fields from a policy counter delta.
+  void record_gather_delta(const GatherStats& delta) {
+    policy_gathers = delta.gathers;
+    gathered_requests = delta.gathered_requests;
+  }
+  /// Per-iteration reset: zero everything but the iteration index (called by
+  /// the drivers at step entry so reused structs cannot accumulate).
+  void reset_for_step() {
+    IterationStats fresh;
+    fresh.iteration = iteration;
+    *this = std::move(fresh);
   }
   double seconds = 0.0;
   double solve_seconds = 0.0;
@@ -115,6 +139,7 @@ class TimeIterationDriver {
     std::unique_ptr<ShockGrid> grid;
     std::uint32_t solver_failures = 0;
     std::uint64_t interpolations = 0;
+    std::uint64_t gathers = 0;
   };
   BuiltShock build_shock(int z, const PolicyEvaluator& p_next, IterationStats& stats);
 

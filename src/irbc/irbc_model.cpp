@@ -15,6 +15,14 @@ sg::BoxDomain build_domain(const IrbcCalibration& cal) {
   return sg::BoxDomain(std::move(lo), std::move(hi));
 }
 
+// Floor applied to trial next-period capital before it enters g = k''/k',
+// k'^(theta-1) and the adjustment-cost ratio: Armijo trial steps (and
+// callers solving without the box) can push a component to or below zero,
+// where those terms are Inf/NaN and poison the line search's merit. Far
+// below the solve box's lower bound (0.2), so feasible iterates are
+// untouched bit-for-bit.
+constexpr double kTrialCapitalFloor = 1e-6;
+
 }  // namespace
 
 IrbcModel::IrbcModel(IrbcCalibration cal)
@@ -62,47 +70,87 @@ double IrbcModel::consumption(int z, std::span<const double> k,
 void IrbcModel::euler_residuals(int z, std::span<const double> k, std::span<const double> k_next,
                                 const core::PolicyEvaluator& p_next, std::span<double> out,
                                 int* interp_count) const {
+  thread_local ResidualScratch scratch;
+  core::EvalCounters counters;
+  euler_residuals_batch(z, k, k_next, 1, p_next, out, scratch, &counters);
+  if (interp_count != nullptr) *interp_count += counters.interpolations;
+}
+
+void IrbcModel::euler_residuals_batch(int z, std::span<const double> k,
+                                      std::span<const double> k_next_block, std::size_t ncols,
+                                      const core::PolicyEvaluator& p_next,
+                                      std::span<double> out_block, ResidualScratch& scratch,
+                                      core::EvalCounters* counters) const {
   const int N = cal_.countries;
   const int Ns = num_shocks();
-
-  const double c_today = consumption(z, k, k_next);
-  const double mu_today = prefs_.marginal_utility(std::max(c_today, 1e-6));
-
-  // Tomorrow's state (shock-independent, chosen today) and the interpolated
-  // day-after policies per successor shock.
-  const std::vector<double> x_unit = domain_.to_unit(k_next);
-  thread_local std::vector<double> dofs;
-  dofs.resize(static_cast<std::size_t>(N));
-
-  std::vector<double> expected(static_cast<std::size_t>(N), 0.0);
+  const auto sN = static_cast<std::size_t>(N);
+  if (k_next_block.size() < ncols * sN || out_block.size() < ncols * sN)
+    throw std::invalid_argument("euler_residuals_batch: block size mismatch");
   const auto pi = chain_.row(static_cast<std::size_t>(z));
+
+  // Guarded copies of the trial iterates; their unit-cube images feed the
+  // gather (to_unit clamps to the box, so flooring changes nothing there
+  // either for feasible points).
+  scratch.k_next.assign(k_next_block.begin(), k_next_block.begin() + static_cast<std::ptrdiff_t>(ncols * sN));
+  for (double& kn : scratch.k_next) kn = std::max(kn, kTrialCapitalFloor);
+  scratch.x_unit = scratch.k_next;
+  for (std::size_t col = 0; col < ncols; ++col)
+    domain_.to_unit_inplace(std::span<double>(scratch.x_unit).subspan(col * sN, sN));
+
+  // One gather for every (successor shock with mass) x (trial column) pair:
+  // grouped by shock so AsgPolicy's per-shock buckets are already contiguous.
+  // Row slot*ncols + col of `gathered` is shock slot's policy at column col.
+  scratch.requests.clear();
+  for (int zp = 0; zp < Ns; ++zp) {
+    if (pi[static_cast<std::size_t>(zp)] == 0.0) continue;
+    for (std::size_t col = 0; col < ncols; ++col)
+      scratch.requests.push_back({zp, static_cast<std::uint32_t>(col)});
+  }
+  scratch.gathered.resize(scratch.requests.size() * sN);
+  p_next.evaluate_gather(scratch.requests, scratch.x_unit, ncols, scratch.gathered, sN);
+  if (counters != nullptr) {
+    counters->interpolations += static_cast<int>(scratch.requests.size());
+    ++counters->gathers;
+  }
+
+  scratch.expected.assign(ncols * sN, 0.0);
+  std::size_t slot = 0;
   for (int zp = 0; zp < Ns; ++zp) {
     const double prob = pi[static_cast<std::size_t>(zp)];
     if (prob == 0.0) continue;
-    p_next.evaluate(zp, x_unit, dofs);
-    if (interp_count != nullptr) ++(*interp_count);
+    for (std::size_t col = 0; col < ncols; ++col) {
+      const std::span<const double> kc(scratch.k_next.data() + col * sN, sN);
+      const std::span<const double> dofs(scratch.gathered.data() + (slot * ncols + col) * sN, sN);
+      double* expected = scratch.expected.data() + col * sN;
 
-    const double c_tomorrow = consumption(zp, k_next, dofs);
-    const double mu_tomorrow = prefs_.marginal_utility(std::max(c_tomorrow, 1e-6));
-    for (int j = 0; j < N; ++j) {
-      const double kn = k_next[static_cast<std::size_t>(j)];
-      const double g = dofs[static_cast<std::size_t>(j)] / kn;
-      const double gross_return = productivity(zp, j) * tfp_scale_ * cal_.theta *
-                                      std::pow(kn, cal_.theta - 1.0) +
-                                  1.0 - cal_.delta + 0.5 * cal_.phi * (g * g - 1.0);
-      expected[static_cast<std::size_t>(j)] += prob * mu_tomorrow * gross_return;
+      const double c_tomorrow = consumption(zp, kc, dofs);
+      const double mu_tomorrow = prefs_.marginal_utility(std::max(c_tomorrow, 1e-6));
+      for (int j = 0; j < N; ++j) {
+        const double kn = kc[static_cast<std::size_t>(j)];
+        const double g = dofs[static_cast<std::size_t>(j)] / kn;
+        const double gross_return = productivity(zp, j) * tfp_scale_ * cal_.theta *
+                                        std::pow(kn, cal_.theta - 1.0) +
+                                    1.0 - cal_.delta + 0.5 * cal_.phi * (g * g - 1.0);
+        expected[j] += prob * mu_tomorrow * gross_return;
+      }
     }
+    ++slot;
   }
 
-  for (int j = 0; j < N; ++j) {
-    const double marginal_cost =
-        mu_today * (1.0 + cal_.phi * (k_next[static_cast<std::size_t>(j)] /
-                                          k[static_cast<std::size_t>(j)] -
-                                      1.0));
-    // Unit-free: 1 - beta E[...] / marginal cost; identical roots, O(1)
-    // scale regardless of the consumption level.
-    out[static_cast<std::size_t>(j)] =
-        1.0 - cal_.beta * expected[static_cast<std::size_t>(j)] / marginal_cost;
+  for (std::size_t col = 0; col < ncols; ++col) {
+    const std::span<const double> kc(scratch.k_next.data() + col * sN, sN);
+    const double c_today = consumption(z, k, kc);
+    const double mu_today = prefs_.marginal_utility(std::max(c_today, 1e-6));
+    for (int j = 0; j < N; ++j) {
+      const double marginal_cost =
+          mu_today *
+          (1.0 + cal_.phi * (kc[static_cast<std::size_t>(j)] / k[static_cast<std::size_t>(j)] -
+                             1.0));
+      // Unit-free: 1 - beta E[...] / marginal cost; identical roots, O(1)
+      // scale regardless of the consumption level.
+      out_block[col * sN + static_cast<std::size_t>(j)] =
+          1.0 - cal_.beta * scratch.expected[col * sN + static_cast<std::size_t>(j)] / marginal_cost;
+    }
   }
 }
 
@@ -120,11 +168,18 @@ core::PointSolveResult IrbcModel::solve_point(int z, std::span<const double> x_u
   const std::vector<double> k = domain_.to_physical(x_unit);
 
   core::PointSolveResult result;
-  int interp = 0;
-  const solver::ResidualFn residual = [this, z, &k, &p_next, &interp](
+  core::EvalCounters counters;
+  ResidualScratch scratch;  // one per solve, recycled by every evaluation
+  const solver::ResidualFn residual = [this, z, &k, &p_next, &counters, &scratch](
                                           std::span<const double> u, std::span<double> out) {
-    euler_residuals(z, k, u, p_next, out, &interp);
+    euler_residuals_batch(z, k, u, 1, p_next, out, scratch, &counters);
   };
+  // Jacobian sweeps evaluate all N perturbed columns through one gather.
+  const solver::BatchResidualFn residual_batch =
+      [this, z, &k, &p_next, &counters, &scratch](std::span<const double> us,
+                                                  std::span<double> fs, std::size_t ncols) {
+        euler_residuals_batch(z, k, us, ncols, p_next, fs, scratch, &counters);
+      };
 
   solver::NewtonOptions newton;
   newton.max_iterations = 80;
@@ -136,13 +191,15 @@ core::PointSolveResult IrbcModel::solve_point(int z, std::span<const double> x_u
   newton.upper.assign(static_cast<std::size_t>(N), 3.0);
 
   const std::vector<double> guess(warm_start.begin(), warm_start.begin() + N);
-  const solver::NewtonResult nres = solve_newton(residual, guess, newton);
+  const solver::NewtonResult nres =
+      solve_newton(residual, guess, newton, nullptr, &residual_batch);
 
   result.converged = nres.converged();
   result.solver_iterations = nres.iterations;
   result.residual_norm = nres.residual_norm;
   result.dofs = nres.solution;
-  result.interpolations = interp;
+  result.interpolations = counters.interpolations;
+  result.gathers = counters.gathers;
   return result;
 }
 

@@ -80,10 +80,41 @@ class IrbcModel final : public core::DynamicModel {
   [[nodiscard]] double consumption(int z, std::span<const double> k,
                                    std::span<const double> k_next) const;
 
-  /// Unit-free Euler residuals (size N); exposed for tests.
+  /// Reusable hot-loop buffers for one point solve. A Newton solve evaluates
+  /// the residual thousands of times; everything it needs per evaluation
+  /// (the sanitized trial iterates, their unit-cube images, the gather
+  /// request list, the gathered policy rows and the expected-return
+  /// accumulator) lives here and is recycled across calls instead of being
+  /// heap-allocated anew each time.
+  struct ResidualScratch {
+    std::vector<double> k_next;              ///< ncols rows of N (guarded copies)
+    std::vector<double> x_unit;              ///< ncols rows of N in [0,1]
+    std::vector<core::GatherRequest> requests;
+    std::vector<double> gathered;            ///< one N-row per request
+    std::vector<double> expected;            ///< ncols rows of N
+  };
+
+  /// Unit-free Euler residuals (size N); exposed for tests. Trial iterates
+  /// with non-positive components are admissible: the gross-return and
+  /// adjustment-cost terms evaluate on copies floored at a tiny positive
+  /// capital (identical results for feasible iterates — the solve box's
+  /// lower bound is far above the floor), so line-search trial steps through
+  /// zero yield finite residuals instead of NaN/Inf.
   void euler_residuals(int z, std::span<const double> k, std::span<const double> k_next,
                        const core::PolicyEvaluator& p_next, std::span<double> out,
                        int* interp_count = nullptr) const;
+
+  /// Batched form over `ncols` trial points (rows of N in `k_next_block`,
+  /// residual rows of N in `out_block`) sharing today's state: ALL successor
+  /// -shock interpolations of the whole block are issued as one
+  /// p_next.evaluate_gather — the per-solve half of the paper's
+  /// interpolation amortization. Column results are identical to calling
+  /// euler_residuals per row (which itself delegates here with ncols = 1).
+  void euler_residuals_batch(int z, std::span<const double> k,
+                             std::span<const double> k_next_block, std::size_t ncols,
+                             const core::PolicyEvaluator& p_next, std::span<double> out_block,
+                             ResidualScratch& scratch,
+                             core::EvalCounters* counters = nullptr) const;
 
  private:
   IrbcCalibration cal_;

@@ -71,95 +71,193 @@ OlgModel::DecodedState OlgModel::decode_state(std::span<const double> x_phys) co
 
 std::vector<double> OlgModel::consumption(int z, const DecodedState& s,
                                           std::span<const double> savings) const {
+  std::vector<double> c(static_cast<std::size_t>(econ_.ages()));
+  consumption(z, s, savings, c);
+  return c;
+}
+
+void OlgModel::consumption(int z, const DecodedState& s, std::span<const double> savings,
+                           std::span<double> out) const {
   const int A = econ_.ages();
   const ShockState& shock = econ_.shocks[static_cast<std::size_t>(z)];
   const FactorPrices p = tech_.prices(s.capital, econ_.total_labor, shock.eta, shock.delta);
   const double R = 1.0 + p.rate * (1.0 - shock.tau_capital);
   const double pen = econ_.pension(p.wage, shock.tau_labor);
 
-  std::vector<double> c(static_cast<std::size_t>(A));
   for (int a = 1; a <= A; ++a) {
     const double labor_inc = (1.0 - shock.tau_labor) * p.wage * econ_.efficiency[a - 1];
     const double pension_inc = econ_.is_retired(a) ? pen : 0.0;
     const double save = (a < A) ? savings[a - 1] : 0.0;
-    c[a - 1] = R * s.wealth[a - 1] + labor_inc + pension_inc - save;
+    out[a - 1] = R * s.wealth[a - 1] + labor_inc + pension_inc - save;
   }
-  return c;
 }
 
-void OlgModel::next_periods(const DecodedState& s, std::span<const double> savings,
-                            const core::PolicyEvaluator& p_next, std::vector<NextPeriod>& out,
-                            int* interp_count) const {
+double OlgModel::next_state(std::span<const double> savings, std::span<double> x_next) const {
   const int A = econ_.ages();
   const int d = A - 1;
-  const int Ns = num_shocks();
-  (void)s;
-
   // Tomorrow's aggregate state is shock-independent (savings chosen today):
   // K' = sum_a k'_a; x' = (K', k'_1, ..., k'_{A-2}).
   double k_next = 0.0;
-  for (int a = 1; a <= A - 1; ++a) k_next += savings[a - 1];
+  for (int a = 1; a <= A - 1; ++a) k_next += savings[static_cast<std::size_t>(a - 1)];
   k_next = std::max(k_next, capital_floor_);
+  x_next[0] = k_next;
+  for (int t = 1; t < d; ++t) x_next[static_cast<std::size_t>(t)] = savings[static_cast<std::size_t>(t - 1)];
+  return k_next;
+}
+
+OlgModel::SuccessorPrices OlgModel::successor_prices(int zp, double k_next) const {
+  const ShockState& shock = econ_.shocks[static_cast<std::size_t>(zp)];
+  SuccessorPrices sp;
+  sp.prices = tech_.prices(k_next, econ_.total_labor, shock.eta, shock.delta);
+  sp.pension = econ_.pension(sp.prices.wage, shock.tau_labor);
+  return sp;
+}
+
+void OlgModel::next_periods(int z, const DecodedState& s, std::span<const double> savings,
+                            const core::PolicyEvaluator& p_next, std::vector<NextPeriod>& out,
+                            core::EvalCounters* counters) const {
+  const int A = econ_.ages();
+  const int d = A - 1;
+  const int Ns = num_shocks();
+  const auto nd = static_cast<std::size_t>(ndofs());
+  (void)s;
 
   std::vector<double> x_next(static_cast<std::size_t>(d));
-  x_next[0] = k_next;
-  for (int t = 1; t < d; ++t) x_next[t] = savings[t - 1];
+  const double k_next = next_state(savings, x_next);
   const std::vector<double> x_unit = domain_.to_unit(x_next);
 
+  // Every successor shock with transition mass interpolates at the same x':
+  // one gather instead of per-shock evaluations, zero-probability shocks
+  // skipped entirely (their out entries stay unwritten).
+  const auto pi = econ_.chain.row(static_cast<std::size_t>(z));
+  thread_local std::vector<core::GatherRequest> requests;
+  thread_local std::vector<double> gathered;
+  requests.clear();
+  for (int zp = 0; zp < Ns; ++zp)
+    if (pi[static_cast<std::size_t>(zp)] > 0.0) requests.push_back({zp, 0});
+  gathered.resize(requests.size() * nd);
+  p_next.evaluate_gather(requests, x_unit, 1, gathered, nd);
+  if (counters != nullptr) {
+    counters->interpolations += static_cast<int>(requests.size());
+    ++counters->gathers;
+  }
+
   out.resize(static_cast<std::size_t>(Ns));
-  for (int zp = 0; zp < Ns; ++zp) {
+  for (std::size_t slot = 0; slot < requests.size(); ++slot) {
+    const int zp = requests[slot].z;
     NextPeriod& np = out[static_cast<std::size_t>(zp)];
     np.capital = k_next;
     np.x_unit = x_unit;
-    np.dofs.resize(static_cast<std::size_t>(ndofs()));
-    p_next.evaluate(zp, np.x_unit, np.dofs);
-    if (interp_count != nullptr) ++(*interp_count);
+    const double* row = gathered.data() + slot * nd;
+    np.dofs.assign(row, row + nd);
 
-    const ShockState& shock = econ_.shocks[static_cast<std::size_t>(zp)];
-    np.prices = tech_.prices(k_next, econ_.total_labor, shock.eta, shock.delta);
-    np.pension = econ_.pension(np.prices.wage, shock.tau_labor);
+    const SuccessorPrices sp = successor_prices(zp, k_next);
+    np.prices = sp.prices;
+    np.pension = sp.pension;
   }
 }
 
 void OlgModel::euler_residuals(int z, const DecodedState& s, std::span<const double> savings,
                                const core::PolicyEvaluator& p_next, std::span<double> out,
                                int* interp_count) const {
+  thread_local ResidualScratch scratch;
+  core::EvalCounters counters;
+  euler_residuals_batch(z, s, savings, 1, p_next, out, scratch, &counters);
+  if (interp_count != nullptr) *interp_count += counters.interpolations;
+}
+
+void OlgModel::euler_residuals_batch(int z, const DecodedState& s,
+                                     std::span<const double> savings_block, std::size_t ncols,
+                                     const core::PolicyEvaluator& p_next,
+                                     std::span<double> out_block, ResidualScratch& scratch,
+                                     core::EvalCounters* counters) const {
   const int A = econ_.ages();
   const int d = A - 1;
-  if (static_cast<int>(out.size()) != d)
-    throw std::invalid_argument("euler_residuals: output size mismatch");
+  const int Ns = num_shocks();
+  const auto sd = static_cast<std::size_t>(d);
+  const auto nd = static_cast<std::size_t>(ndofs());
+  if (savings_block.size() < ncols * sd || out_block.size() < ncols * sd)
+    throw std::invalid_argument("euler_residuals_batch: block size mismatch");
 
-  const std::vector<double> c_today = consumption(z, s, savings);
+  // Per column: tomorrow's aggregate state K' = sum k'_a (shock-independent),
+  // unit-mapped into a row of the gather's coordinate block.
+  scratch.k_next.resize(ncols);
+  scratch.x_unit.resize(ncols * sd);
+  for (std::size_t col = 0; col < ncols; ++col) {
+    const std::span<double> row = std::span<double>(scratch.x_unit).subspan(col * sd, sd);
+    scratch.k_next[col] = next_state(savings_block.subspan(col * sd, sd), row);
+    domain_.to_unit_inplace(row);
+  }
 
-  thread_local std::vector<NextPeriod> nps;
-  next_periods(s, savings, p_next, nps, interp_count);
-
+  // One gather for every (successor shock with mass) x (column) pair; row
+  // slot*ncols + col of `gathered` is shock scratch.shocks[slot]'s policy at
+  // column col. Zero-probability successors never enter the Euler
+  // expectation, so their interpolations are skipped entirely (cf. the IRBC
+  // batch residual).
   const auto pi = econ_.chain.row(static_cast<std::size_t>(z));
-  for (int a = 1; a <= A - 1; ++a) {
-    // Expected discounted marginal utility of age a+1 tomorrow.
-    double emu = 0.0;
-    for (int zp = 0; zp < num_shocks(); ++zp) {
-      const double prob = pi[static_cast<std::size_t>(zp)];
-      if (prob == 0.0) continue;
-      const NextPeriod& np = nps[static_cast<std::size_t>(zp)];
-      const ShockState& shock = econ_.shocks[static_cast<std::size_t>(zp)];
-      const double Rp = 1.0 + np.prices.rate * (1.0 - shock.tau_capital);
+  scratch.shocks.clear();
+  scratch.requests.clear();
+  for (int zp = 0; zp < Ns; ++zp) {
+    if (pi[static_cast<std::size_t>(zp)] == 0.0) continue;
+    scratch.shocks.push_back(zp);
+    for (std::size_t col = 0; col < ncols; ++col)
+      scratch.requests.push_back({zp, static_cast<std::uint32_t>(col)});
+  }
+  scratch.gathered.resize(scratch.requests.size() * nd);
+  p_next.evaluate_gather(scratch.requests, scratch.x_unit, ncols, scratch.gathered, nd);
+  if (counters != nullptr) {
+    counters->interpolations += static_cast<int>(scratch.requests.size());
+    ++counters->gathers;
+  }
 
-      const int ap = a + 1;  // age tomorrow
-      const double labor_inc = (1.0 - shock.tau_labor) * np.prices.wage * econ_.efficiency[ap - 1];
-      const double pension_inc = econ_.is_retired(ap) ? np.pension : 0.0;
-      // Next-period savings of age a+1 come from the interpolated policy;
-      // the oldest generation saves nothing.
-      const double k_tomorrow = (ap <= A - 1) ? np.dofs[static_cast<std::size_t>(ap - 1)] : 0.0;
-      const double c_tomorrow = Rp * savings[a - 1] + labor_inc + pension_inc - k_tomorrow;
-      emu += prob * Rp * prefs_.marginal_utility(c_tomorrow);
+  // Factor prices and pensions per (shock, column) — they depend only on K'.
+  const std::size_t nshocks = scratch.shocks.size();
+  scratch.prices.resize(nshocks * ncols);
+  scratch.pension.resize(nshocks * ncols);
+  for (std::size_t si = 0; si < nshocks; ++si) {
+    for (std::size_t col = 0; col < ncols; ++col) {
+      const std::size_t slot = si * ncols + col;
+      const SuccessorPrices sp = successor_prices(scratch.shocks[si], scratch.k_next[col]);
+      scratch.prices[slot] = sp.prices;
+      scratch.pension[slot] = sp.pension;
     }
-    // The Euler equation u'(c_a) = beta E[...] expressed in consumption
-    // units, c_a - (u')^{-1}(beta E[...]): a strictly monotone transform
-    // with identical roots but uniform O(c) scaling across ages — marginal
-    // utilities near the consumption floor are ~1e6 and would otherwise
-    // wreck the Newton line search's merit function.
-    out[a - 1] = c_today[a - 1] - prefs_.inverse_marginal(econ_.beta * emu);
+  }
+
+  scratch.c_today.resize(static_cast<std::size_t>(A));
+  for (std::size_t col = 0; col < ncols; ++col) {
+    const std::span<const double> savings = savings_block.subspan(col * sd, sd);
+    consumption(z, s, savings, scratch.c_today);
+    const std::vector<double>& c_today = scratch.c_today;
+    for (int a = 1; a <= A - 1; ++a) {
+      // Expected discounted marginal utility of age a+1 tomorrow.
+      double emu = 0.0;
+      for (std::size_t si = 0; si < nshocks; ++si) {
+        const int zp = scratch.shocks[si];
+        const double prob = pi[static_cast<std::size_t>(zp)];
+        const std::size_t slot = si * ncols + col;
+        const ShockState& shock = econ_.shocks[static_cast<std::size_t>(zp)];
+        const FactorPrices& prices = scratch.prices[slot];
+        const double Rp = 1.0 + prices.rate * (1.0 - shock.tau_capital);
+
+        const int ap = a + 1;  // age tomorrow
+        const double labor_inc = (1.0 - shock.tau_labor) * prices.wage * econ_.efficiency[ap - 1];
+        const double pension_inc = econ_.is_retired(ap) ? scratch.pension[slot] : 0.0;
+        // Next-period savings of age a+1 come from the interpolated policy;
+        // the oldest generation saves nothing.
+        const double* dofs = scratch.gathered.data() + slot * nd;
+        const double k_tomorrow = (ap <= A - 1) ? dofs[ap - 1] : 0.0;
+        const double c_tomorrow =
+            Rp * savings[static_cast<std::size_t>(a - 1)] + labor_inc + pension_inc - k_tomorrow;
+        emu += prob * Rp * prefs_.marginal_utility(c_tomorrow);
+      }
+      // The Euler equation u'(c_a) = beta E[...] expressed in consumption
+      // units, c_a - (u')^{-1}(beta E[...]): a strictly monotone transform
+      // with identical roots but uniform O(c) scaling across ages — marginal
+      // utilities near the consumption floor are ~1e6 and would otherwise
+      // wreck the Newton line search's merit function.
+      out_block[col * sd + static_cast<std::size_t>(a - 1)] =
+          c_today[static_cast<std::size_t>(a - 1)] - prefs_.inverse_marginal(econ_.beta * emu);
+    }
   }
 }
 
@@ -171,7 +269,7 @@ std::vector<double> OlgModel::value_coefficients(int z, const DecodedState& s,
   const std::vector<double> c_today = consumption(z, s, savings);
 
   thread_local std::vector<NextPeriod> nps;
-  next_periods(s, savings, p_next, nps, nullptr);
+  next_periods(z, s, savings, p_next, nps, nullptr);
 
   // The value recursion runs on unnormalized CRRA utilities with a floored
   // argument, and the *stored* coefficients are the certainty-equivalent
@@ -252,10 +350,11 @@ OlgModel::Bounds OlgModel::feasibility_bounds(int z, const DecodedState& s) cons
 double OlgModel::projected_residual_norm(int z, const DecodedState& s,
                                          std::span<const double> savings, const Bounds& bounds,
                                          const core::PolicyEvaluator& p_next,
-                                         int* interp_count) const {
+                                         core::EvalCounters* counters) const {
   const int d = state_dim();
   std::vector<double> res(static_cast<std::size_t>(d));
-  euler_residuals(z, s, savings, p_next, res, interp_count);
+  thread_local ResidualScratch scratch;
+  euler_residuals_batch(z, s, savings, 1, p_next, res, scratch, counters);
   const std::vector<double> c = consumption(z, s, savings);
 
   double worst = 0.0;
@@ -286,12 +385,19 @@ core::PointSolveResult OlgModel::solve_point(int z, std::span<const double> x_un
   const DecodedState s = decode_state(x_phys);
 
   core::PointSolveResult result;
-  int interp = 0;
+  core::EvalCounters counters;
+  ResidualScratch scratch;  // one per solve, recycled by every evaluation
 
-  const solver::ResidualFn residual = [this, z, &s, &p_next, &interp](
+  const solver::ResidualFn residual = [this, z, &s, &p_next, &counters, &scratch](
                                           std::span<const double> u, std::span<double> out) {
-    euler_residuals(z, s, u, p_next, out, &interp);
+    euler_residuals_batch(z, s, u, 1, p_next, out, scratch, &counters);
   };
+  // Jacobian sweeps evaluate all d perturbed columns through one gather.
+  const solver::BatchResidualFn residual_batch =
+      [this, z, &s, &p_next, &counters, &scratch](std::span<const double> us,
+                                                  std::span<double> fs, std::size_t ncols) {
+        euler_residuals_batch(z, s, us, ncols, p_next, fs, scratch, &counters);
+      };
 
   // Per-point feasibility box (the role of Ipopt's inequality handling in
   // the paper's stack): Newton iterates never leave the region where the
@@ -304,12 +410,14 @@ core::PointSolveResult OlgModel::solve_point(int z, std::span<const double> x_un
   // Warm start: previous iteration's asset demands at this point (the solver
   // clips them into the feasibility box).
   const std::vector<double> guess(warm_start.begin(), warm_start.begin() + d);
-  const solver::NewtonResult nres = solve_newton(residual, guess, newton);
+  const solver::NewtonResult nres =
+      solve_newton(residual, guess, newton, nullptr, &residual_batch);
 
   // At box corners the equilibrium is constrained: accept KKT-consistent
   // solutions whose projected residual is small even when the raw Euler
   // residual cannot vanish.
-  const double projected = projected_residual_norm(z, s, nres.solution, bounds, p_next, &interp);
+  const double projected =
+      projected_residual_norm(z, s, nres.solution, bounds, p_next, &counters);
   result.converged = nres.converged() || projected < 1e-6;
   result.solver_iterations = nres.iterations;
   result.residual_norm = std::min(nres.residual_norm, projected);
@@ -318,7 +426,8 @@ core::PointSolveResult OlgModel::solve_point(int z, std::span<const double> x_un
   std::copy(nres.solution.begin(), nres.solution.end(), result.dofs.begin());
   const std::vector<double> values = value_coefficients(z, s, nres.solution, p_next);
   std::copy(values.begin(), values.end(), result.dofs.begin() + d);
-  result.interpolations = interp;
+  result.interpolations = counters.interpolations;
+  result.gathers = counters.gathers;
   return result;
 }
 

@@ -88,12 +88,42 @@ class OlgModel final : public core::DynamicModel {
   /// Today's consumption by age given state and savings choices.
   [[nodiscard]] std::vector<double> consumption(int z, const DecodedState& s,
                                                 std::span<const double> savings) const;
+  /// Allocation-free variant for the residual hot loop: writes the A ages
+  /// into `out`.
+  void consumption(int z, const DecodedState& s, std::span<const double> savings,
+                   std::span<double> out) const;
 
   /// Euler residuals (size d) for savings choices at (z, x); exposed for
   /// tests and diagnostics. Counts p_next evaluations into `interp_count`.
+  /// All Ns successor-shock interpolations are issued as ONE
+  /// evaluate_gather on p_next (delegates to euler_residuals_batch).
   void euler_residuals(int z, const DecodedState& s, std::span<const double> savings,
                        const core::PolicyEvaluator& p_next, std::span<double> out,
                        int* interp_count = nullptr) const;
+
+  /// Reusable per-solve buffers for the residual hot loop (no per-call heap
+  /// traffic beyond the consumption profile).
+  struct ResidualScratch {
+    std::vector<double> x_unit;               ///< ncols rows of d
+    std::vector<double> k_next;               ///< ncols aggregate capitals
+    std::vector<int> shocks;                  ///< successor shocks with mass
+    std::vector<core::GatherRequest> requests;
+    std::vector<double> gathered;             ///< one ndofs-row per request
+    std::vector<FactorPrices> prices;         ///< shocks x ncols (slot-major)
+    std::vector<double> pension;              ///< shocks x ncols (slot-major)
+    std::vector<double> c_today;              ///< A ages, per column
+  };
+
+  /// Batched Euler residuals over `ncols` savings columns (rows of d in
+  /// `savings_block` / `out_block`) at one state: every successor-shock
+  /// policy interpolation of the whole block goes out as a single
+  /// p_next.evaluate_gather — the finite-difference Jacobian sweep issues
+  /// its d+? columns' interpolations together. Column results are identical
+  /// to per-column euler_residuals.
+  void euler_residuals_batch(int z, const DecodedState& s, std::span<const double> savings_block,
+                             std::size_t ncols, const core::PolicyEvaluator& p_next,
+                             std::span<double> out_block, ResidualScratch& scratch,
+                             core::EvalCounters* counters = nullptr) const;
 
   /// Value-function coefficients v_1..v_{A-1} implied by converged savings.
   [[nodiscard]] std::vector<double> value_coefficients(int z, const DecodedState& s,
@@ -116,7 +146,7 @@ class OlgModel final : public core::DynamicModel {
                                                std::span<const double> savings,
                                                const Bounds& bounds,
                                                const core::PolicyEvaluator& p_next,
-                                               int* interp_count = nullptr) const;
+                                               core::EvalCounters* counters = nullptr) const;
 
  private:
   struct NextPeriod {
@@ -126,11 +156,25 @@ class OlgModel final : public core::DynamicModel {
     FactorPrices prices;
     double pension = 0.0;
   };
-  /// Builds next-period objects for each successor shock (the interpolation
-  /// hot path).
-  void next_periods(const DecodedState& s, std::span<const double> savings,
+  /// Builds next-period objects for today's shock z's successors; only
+  /// shocks with transition mass are interpolated (one gather), the rest of
+  /// `out` is left untouched and must not be read.
+  void next_periods(int z, const DecodedState& s, std::span<const double> savings,
                     const core::PolicyEvaluator& p_next, std::vector<NextPeriod>& out,
-                    int* interp_count) const;
+                    core::EvalCounters* counters) const;
+
+  /// Tomorrow's aggregate capital implied by the savings choices (floored at
+  /// capital_floor_); writes the physical next state x' = (K', k'_1, ...,
+  /// k'_{A-2}) into `x_next` (size d). Single definition shared by the
+  /// residual hot loop and next_periods.
+  double next_state(std::span<const double> savings, std::span<double> x_next) const;
+  /// Successor shock zp's factor prices and pension at aggregate capital K'
+  /// — ditto, the one place tomorrow's price economics lives.
+  struct SuccessorPrices {
+    FactorPrices prices;
+    double pension = 0.0;
+  };
+  [[nodiscard]] SuccessorPrices successor_prices(int zp, double k_next) const;
 
   OlgEconomy econ_;
   OlgModelOptions opts_;

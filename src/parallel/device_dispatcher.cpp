@@ -53,6 +53,7 @@ DeviceDispatcher::Ticket DeviceDispatcher::try_submit(const kernels::Interpolati
     queue_.push_back(req);
     outstanding_points_ += npoints;
   }
+  submitted_runs_.fetch_add(1, std::memory_order_relaxed);
   queue_cv_.notify_one();
   return Ticket{std::move(req)};
 }

@@ -52,15 +52,26 @@ struct DispatcherStats {
   std::uint64_t offloaded_points = 0;  ///< points completed on the device
   std::uint64_t rejected_points = 0;   ///< points refused (caller went to CPU)
   std::uint64_t batches = 0;           ///< device launches
+  /// Accepted try_submit calls (ticketed runs). The gather-accounting
+  /// counter: a per-point caller produces one run per point, the gathered
+  /// Newton path one run per (shock, chunk) — so runs collapsing while
+  /// offloaded_points holds steady is batching working.
+  std::uint64_t submitted_runs = 0;
   [[nodiscard]] double mean_batch() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(offloaded_points) / static_cast<double>(batches);
+  }
+  /// Mean points carried per accepted submission.
+  [[nodiscard]] double mean_run() const {
+    return submitted_runs == 0
+               ? 0.0
+               : static_cast<double>(offloaded_points) / static_cast<double>(submitted_runs);
   }
   /// Counter delta relative to an earlier snapshot of the same dispatcher
   /// (how the per-iteration stats in core::IterationStats are derived).
   [[nodiscard]] DispatcherStats since(const DispatcherStats& before) const {
     return {offloaded_points - before.offloaded_points, rejected_points - before.rejected_points,
-            batches - before.batches};
+            batches - before.batches, submitted_runs - before.submitted_runs};
   }
 };
 
@@ -109,8 +120,9 @@ class DeviceDispatcher {
   [[nodiscard]] std::uint64_t offloaded() const { return offloaded_.load(); }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_.load(); }
   [[nodiscard]] std::uint64_t batches() const { return batches_.load(); }
+  [[nodiscard]] std::uint64_t submitted_runs() const { return submitted_runs_.load(); }
   [[nodiscard]] DispatcherStats stats() const {
-    return {offloaded_.load(), rejected_.load(), batches_.load()};
+    return {offloaded_.load(), rejected_.load(), batches_.load(), submitted_runs_.load()};
   }
   [[nodiscard]] const DispatcherOptions& options() const { return opts_; }
 
@@ -131,6 +143,7 @@ class DeviceDispatcher {
   std::atomic<std::uint64_t> offloaded_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> submitted_runs_{0};
   std::thread dispatcher_;
 };
 

@@ -38,6 +38,33 @@ void finite_difference_jacobian(const ResidualFn& residual, std::span<const doub
   }
 }
 
+void finite_difference_jacobian(const BatchResidualFn& residual_batch, std::span<const double> u,
+                                std::span<const double> f_of_u, double epsilon, util::Matrix& jac,
+                                int* eval_count) {
+  const std::size_t n = u.size();
+  // Reused across refreshes: this runs once per Newton iteration of every
+  // grid-point solve, and the whole point of the batched path is keeping the
+  // sweep free of per-call overhead.
+  thread_local std::vector<double> us, fs, steps;
+  us.resize(n * n);
+  fs.resize(n * n);
+  steps.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    double* col = us.data() + c * n;
+    std::copy(u.begin(), u.end(), col);
+    const double h = epsilon * std::max(1.0, std::fabs(u[c]));
+    const double saved = col[c];
+    col[c] = saved + h;
+    steps[c] = col[c] - saved;  // exact representable step
+  }
+  residual_batch(us, fs, n);
+  if (eval_count != nullptr) *eval_count += static_cast<int>(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const double* fp = fs.data() + c * n;
+    for (std::size_t r = 0; r < n; ++r) jac(r, c) = (fp[r] - f_of_u[r]) / steps[c];
+  }
+}
+
 namespace {
 
 void clip_to_box(std::vector<double>& u, const NewtonOptions& options) {
@@ -82,7 +109,8 @@ double inf_norm_free(std::span<const double> f, const std::vector<bool>& active)
 }  // namespace
 
 NewtonResult solve_newton(const ResidualFn& residual, std::span<const double> initial,
-                          const NewtonOptions& options, const JacobianFn* jacobian) {
+                          const NewtonOptions& options, const JacobianFn* jacobian,
+                          const BatchResidualFn* residual_batch) {
   const std::size_t n = initial.size();
   if (n == 0) throw std::invalid_argument("solve_newton: empty system");
   if (!options.lower.empty() && options.lower.size() != n)
@@ -128,6 +156,9 @@ NewtonResult solve_newton(const ResidualFn& residual, std::span<const double> in
     if (refresh) {
       if (jacobian != nullptr) {
         (*jacobian)(u, jac);
+      } else if (residual_batch != nullptr) {
+        finite_difference_jacobian(*residual_batch, u, f, options.fd_epsilon, jac,
+                                   &result.residual_evaluations);
       } else {
         finite_difference_jacobian(residual, u, f, options.fd_epsilon, jac,
                                    &result.residual_evaluations);

@@ -22,6 +22,14 @@ namespace hddm::solver {
 
 /// Residual callback: writes F(u) into `out` (both of size n).
 using ResidualFn = std::function<void(std::span<const double> u, std::span<double> out)>;
+/// Batched residual callback: `us` holds ncols trial points (rows of n),
+/// `fs` receives the ncols residual vectors (rows of n). Must compute each
+/// column exactly as the scalar ResidualFn would — models back it with one
+/// PolicyEvaluator::evaluate_gather over all columns' successor-shock
+/// requests, so a whole finite-difference Jacobian sweep issues its policy
+/// interpolations together instead of once per column.
+using BatchResidualFn =
+    std::function<void(std::span<const double> us, std::span<double> fs, std::size_t ncols)>;
 /// Optional analytic Jacobian callback.
 using JacobianFn = std::function<void(std::span<const double> u, util::Matrix& jac)>;
 
@@ -65,14 +73,29 @@ struct NewtonResult {
 };
 
 /// Solves F(u) = 0 starting from `initial`. When `jacobian` is null a
-/// forward finite-difference approximation is used.
+/// forward finite-difference approximation is used; if `residual_batch` is
+/// additionally non-null, the approximation evaluates all n perturbed
+/// columns through it in one call (the gathered-interpolation fast path) —
+/// bit-identical to the scalar column loop whenever the batch callback
+/// honors its column-equivalence contract.
 NewtonResult solve_newton(const ResidualFn& residual, std::span<const double> initial,
-                          const NewtonOptions& options = {}, const JacobianFn* jacobian = nullptr);
+                          const NewtonOptions& options = {}, const JacobianFn* jacobian = nullptr,
+                          const BatchResidualFn* residual_batch = nullptr);
 
 /// Forward finite-difference Jacobian (exposed for tests and for models that
 /// want to mix analytic columns with numeric ones).
 void finite_difference_jacobian(const ResidualFn& residual, std::span<const double> u,
                                 std::span<const double> f_of_u, double epsilon,
                                 util::Matrix& jac, int* eval_count = nullptr);
+
+/// Batched-column variant: builds every perturbed trial point first, issues
+/// ONE BatchResidualFn call for the whole sweep, and fills the columns from
+/// the returned block. Same per-column steps and difference arithmetic as
+/// the scalar overload (identical Jacobian when the batch residual matches
+/// the scalar residual column-wise). `eval_count` still advances by n —
+/// it counts residual evaluations, not callback invocations.
+void finite_difference_jacobian(const BatchResidualFn& residual_batch, std::span<const double> u,
+                                std::span<const double> f_of_u, double epsilon, util::Matrix& jac,
+                                int* eval_count = nullptr);
 
 }  // namespace hddm::solver

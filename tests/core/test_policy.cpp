@@ -168,6 +168,135 @@ TEST(AsgPolicy, DeviceBatchPathIsBitIdenticalAndCounted) {
   }
 }
 
+TEST(AsgPolicy, EvaluateGatherMatchesEvaluateBitIdentical) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(3, 3, 4, 61));
+  grids.push_back(make_shock_grid(3, 3, 4, 62));
+  grids.push_back(make_shock_grid(3, 4, 4, 63));
+  const AsgPolicy policy(4, std::move(grids));
+
+  // The Newton-internal request pattern: a handful of coordinate rows, each
+  // requested by several shocks, in interleaved (non-bucketed) order — plus
+  // a strided output block wider than ndofs.
+  constexpr std::size_t kPoints = 7;
+  constexpr std::size_t kStride = 6;  // > ndofs: strided output
+  util::Rng rng(17);
+  std::vector<double> xs(kPoints * 3);
+  for (auto& xi : xs) xi = rng.uniform();
+  std::vector<GatherRequest> requests;
+  for (std::size_t p = 0; p < kPoints; ++p)
+    for (int z = 0; z < 3; ++z)
+      requests.push_back({(z + static_cast<int>(p)) % 3, static_cast<std::uint32_t>(p)});
+
+  std::vector<double> gathered(requests.size() * kStride, -99.0);
+  policy.evaluate_gather(requests, xs, kPoints, gathered, kStride);
+
+  std::vector<double> want(4);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    policy.evaluate(requests[i].z, std::span<const double>(xs).subspan(requests[i].point * 3, 3),
+                    want);
+    for (int dof = 0; dof < 4; ++dof)
+      EXPECT_EQ(gathered[i * kStride + static_cast<std::size_t>(dof)],
+                want[static_cast<std::size_t>(dof)])
+          << "request " << i;
+    // The stride padding must stay untouched.
+    for (std::size_t pad = 4; pad < kStride; ++pad)
+      EXPECT_EQ(gathered[i * kStride + pad], -99.0);
+  }
+
+  const GatherStats stats = policy.gather_stats();
+  EXPECT_EQ(stats.gathers, 1u);
+  EXPECT_EQ(stats.gathered_requests, requests.size());
+  EXPECT_DOUBLE_EQ(stats.mean_requests(), static_cast<double>(requests.size()));
+}
+
+TEST(AsgPolicy, EvaluateGatherDevicePathBitIdenticalAndCounted) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(3, 3, 4, 71));
+  grids.push_back(make_shock_grid(3, 3, 4, 72));
+  AsgPolicy policy(4, std::move(grids));
+
+  // Reference device kernels bound to the same grids, evaluated per point.
+  std::vector<std::unique_ptr<kernels::InterpolationKernel>> refs;
+  for (int z = 0; z < 2; ++z)
+    refs.push_back(kernels::make_kernel(kernels::KernelKind::SimGpu, &policy.grid(z).dense(),
+                                        &policy.grid(z).compressed()));
+  policy.attach_default_device(kernels::KernelKind::SimGpu,
+                               {.queue_capacity = 1024, .max_batch = 16});
+
+  constexpr std::size_t kPoints = 5;
+  util::Rng rng(19);
+  std::vector<double> xs(kPoints * 3);
+  for (auto& xi : xs) xi = rng.uniform();
+  std::vector<GatherRequest> requests;  // every shock at every point
+  for (int z = 0; z < 2; ++z)
+    for (std::size_t p = 0; p < kPoints; ++p)
+      requests.push_back({z, static_cast<std::uint32_t>(p)});
+
+  std::vector<double> gathered(requests.size() * 4);
+  policy.evaluate_gather(requests, xs, kPoints, gathered, 4);
+
+  // Counter accounting: one gather, one ticketed run per shock bucket (the
+  // idle queue accepts both), every request offloaded in one launch each.
+  const parallel::DispatcherStats dev = policy.device_stats();
+  EXPECT_EQ(dev.offloaded_points + dev.rejected_points, requests.size());
+  ASSERT_EQ(dev.rejected_points, 0u) << "idle queue rejected a run";
+  EXPECT_EQ(dev.submitted_runs, 2u);
+  EXPECT_DOUBLE_EQ(dev.mean_run(), static_cast<double>(kPoints));
+  EXPECT_LE(dev.batches, 2u);
+  EXPECT_EQ(policy.gather_stats().gathers, 1u);
+
+  std::vector<double> want(4);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    refs[static_cast<std::size_t>(requests[i].z)]->evaluate(
+        xs.data() + requests[i].point * 3, want.data());
+    for (int dof = 0; dof < 4; ++dof)
+      EXPECT_EQ(gathered[i * 4 + static_cast<std::size_t>(dof)],
+                want[static_cast<std::size_t>(dof)])
+          << "request " << i;
+  }
+}
+
+TEST(AsgPolicy, GatherStatsDeltaIsolatesNewTraffic) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(2, 3, 2, 81));
+  const AsgPolicy policy(2, std::move(grids));
+
+  const std::vector<double> xs{0.3, 0.6};
+  const std::vector<GatherRequest> requests{{0, 0}, {0, 0}};
+  std::vector<double> out(requests.size() * 2);
+  policy.evaluate_gather(requests, xs, 1, out, 2);
+
+  const GatherStats before = policy.gather_stats();
+  policy.evaluate_gather(requests, xs, 1, out, 2);
+  policy.evaluate_gather(requests, xs, 1, out, 2);
+  const GatherStats delta = policy.gather_stats().since(before);
+  EXPECT_EQ(delta.gathers, 2u);
+  EXPECT_EQ(delta.gathered_requests, 4u);
+  EXPECT_DOUBLE_EQ(delta.mean_requests(), 2.0);
+}
+
+TEST(PolicyEvaluatorDefault, EvaluateGatherLoopsEvaluate) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(2, 3, 3, 91));
+  grids.push_back(make_shock_grid(2, 3, 3, 92));
+  const AsgPolicy policy(3, std::move(grids));
+
+  // Scalar-only view: forwards evaluate() but keeps the PolicyEvaluator
+  // default gather (the pre-gather regime models are tested against).
+  const ScalarPolicyView scalar_view(policy);
+
+  util::Rng rng(23);
+  std::vector<double> xs(3 * 2);
+  for (auto& xi : xs) xi = rng.uniform();
+  const std::vector<GatherRequest> requests{{1, 2}, {0, 0}, {1, 1}, {0, 2}};
+  std::vector<double> via_default(requests.size() * 3);
+  std::vector<double> via_override(requests.size() * 3);
+  scalar_view.evaluate_gather(requests, xs, 3, via_default, 3);
+  policy.evaluate_gather(requests, xs, 3, via_override, 3);
+  EXPECT_EQ(via_default, via_override);  // the documented bit-identity contract
+}
+
 TEST(InitialPolicyEvaluatorTest, DelegatesToModel) {
   // Minimal model stub.
   class Stub final : public DynamicModel {

@@ -238,6 +238,54 @@ TEST(TimeIteration, DeviceOffloadPipelineMatchesCpuAndReportsCounters) {
   }
 }
 
+TEST(TimeIteration, MultiStepRunReportsPerIterationDeltasNotCumulativeTotals) {
+  // Regression for the offload-counter hazard: repeated step() calls against
+  // the SAME p_next (whose dispatcher counters only ever grow) must report
+  // each step's own work. With cumulative totals the second and third step
+  // would re-report the first one's launches; with deltas the deterministic
+  // workload yields identical counters every time. The stats object is
+  // deliberately reused without resetting — step() owns the reset.
+  const olg::OlgModel model(olg::build_economy(olg::reduced_calibration(5, 2, 1)));
+  TimeIterationOptions opts;
+  opts.base_level = 2;
+  opts.max_iterations = 1;
+  opts.use_device = true;
+  opts.offload.max_batch = 8;
+  TimeIterationDriver driver(model, opts);
+
+  const InitialPolicyEvaluator initial(model);
+  IterationStats warm_stats;
+  const auto policy = driver.step(initial, warm_stats);
+  ASSERT_GT(policy->total_points(), 0u);
+
+  IterationStats stats;  // reused across steps on purpose
+  std::vector<IterationStats> reported;
+  for (int rep = 0; rep < 3; ++rep) {
+    (void)driver.step(*policy, stats);
+    reported.push_back(stats);
+  }
+  for (int rep = 1; rep < 3; ++rep) {
+    const auto& first = reported[0];
+    const auto& later = reported[static_cast<std::size_t>(rep)];
+    EXPECT_EQ(later.interpolations, first.interpolations) << "rep " << rep;
+    EXPECT_EQ(later.solver_gathers, first.solver_gathers) << "rep " << rep;
+    EXPECT_EQ(later.policy_gathers, first.policy_gathers) << "rep " << rep;
+    EXPECT_EQ(later.gathered_requests, first.gathered_requests) << "rep " << rep;
+    // Offloaded + rejected is the deterministic total the step pushed at the
+    // device (the split can vary with queue timing).
+    EXPECT_EQ(later.device_offloaded + later.device_rejected,
+              first.device_offloaded + first.device_rejected)
+        << "rep " << rep;
+    EXPECT_EQ(later.solver_failures, first.solver_failures) << "rep " << rep;
+  }
+  // The per-solve gather path is live: far fewer gathers than point
+  // interpolations, and p_next's gather counter delta matches per step.
+  EXPECT_GT(reported[0].solver_gathers, 0u);
+  EXPECT_GT(reported[0].policy_gathers, 0u);
+  EXPECT_GE(reported[0].gathered_requests, reported[0].policy_gathers);
+  EXPECT_LT(reported[0].solver_gathers, reported[0].interpolations);
+}
+
 TEST(TimeIteration, RejectsBadOptions) {
   const ContractionModel model(2, 2, 0.5);
   TimeIterationOptions opts;

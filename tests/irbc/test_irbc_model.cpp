@@ -188,6 +188,114 @@ TEST(IrbcModel, EquilibriumResidualSmallAfterConvergence) {
   }
 }
 
+TEST(IrbcModel, EulerResidualsFiniteForNonPositiveTrialIterates) {
+  // The gross-return term (k'^(theta-1), g = k''/k') used to blow up to
+  // NaN/Inf the moment a trial iterate touched zero; the guarded residual
+  // must stay finite for zero and negative components.
+  IrbcCalibration cal;
+  cal.countries = 3;
+  const IrbcModel m(cal);
+  const core::InitialPolicyEvaluator pnext(m);
+  const std::vector<double> k(3, 1.0);
+
+  for (const std::vector<double>& k_next :
+       {std::vector<double>{0.0, 1.0, 1.0}, {1.0, -0.5, 1.0}, {0.0, 0.0, 0.0}, {-1.0, -1.0, -1.0}}) {
+    std::vector<double> res(3);
+    m.euler_residuals(0, k, k_next, pnext, res);
+    for (const double r : res) EXPECT_TRUE(std::isfinite(r)) << "k_next[0]=" << k_next[0];
+  }
+}
+
+TEST(IrbcModel, NewtonTrialStepThroughZeroStaysFiniteAndDiagnosable) {
+  // Regression for the line-search hazard: an unbounded Newton run started
+  // at k' = 2 (today's resources cannot fund it, so the consumption floor
+  // flattens the residual and the first Newton direction is enormous)
+  // drives its λ = 1 Armijo trial deep through zero. Unguarded, that trial
+  // evaluates pow(negative, theta-1) = NaN and poisons the merit; the
+  // guarded residual stays finite everywhere, so the solver backtracks on
+  // real numbers and reports an honest terminal status.
+  IrbcCalibration cal;
+  cal.countries = 2;
+  cal.sigma = 0.0;
+  const IrbcModel m(cal);
+  const core::InitialPolicyEvaluator pnext(m);
+  const std::vector<double> k(2, 1.0);
+
+  bool all_finite = true;
+  double min_trial = 1e300;
+  const solver::ResidualFn residual = [&](std::span<const double> u, std::span<double> out) {
+    for (const double ui : u) min_trial = std::min(min_trial, ui);
+    m.euler_residuals(0, k, u, pnext, out);
+    for (const double r : out)
+      if (!std::isfinite(r)) all_finite = false;
+  };
+  solver::NewtonOptions opts;
+  opts.max_iterations = 50;
+  opts.tolerance = 1e-9;  // deliberately no box: nothing clips the trials
+  const solver::NewtonResult r = solve_newton(residual, std::vector<double>{2.0, 2.0}, opts);
+  EXPECT_LT(min_trial, 0.0) << "the scenario no longer drives a trial step through zero";
+  EXPECT_TRUE(all_finite) << "a trial step through zero produced a non-finite residual";
+  // Infeasible basin, honest diagnosis — not a NaN-corrupted solution.
+  EXPECT_FALSE(r.converged());
+  EXPECT_TRUE(r.status == solver::NewtonStatus::LineSearchFailed ||
+              r.status == solver::NewtonStatus::MaxIterations ||
+              r.status == solver::NewtonStatus::SingularJacobian)
+      << "status " << to_string(r.status);
+  for (const double kj : r.solution) EXPECT_TRUE(std::isfinite(kj));
+
+  // From a feasible warm start the same residual (same guard in the hot
+  // path) converges to the steady state through the production box.
+  solver::NewtonOptions boxed = opts;
+  boxed.max_iterations = 120;
+  boxed.lower = {0.2, 0.2};
+  boxed.upper = {3.0, 3.0};
+  const solver::NewtonResult rb = solve_newton(residual, std::vector<double>{0.9, 1.1}, boxed);
+  ASSERT_TRUE(rb.converged()) << "status " << to_string(rb.status);
+  for (const double kj : rb.solution) EXPECT_NEAR(kj, 1.0, 1e-6);
+}
+
+TEST(IrbcModel, SolvePointGatheredMatchesScalarBitIdentical) {
+  // End-to-end gather contract: the same solve against the same AsgPolicy,
+  // once through the gather-aware path and once behind a scalar-only adapter
+  // (PolicyEvaluator's default gather = loop of evaluate), must walk the
+  // identical Newton trajectory — interpolation batching may not perturb a
+  // single bit of the solution.
+  IrbcCalibration cal;
+  cal.countries = 2;
+  cal.max_shock_bits = 2;
+  const IrbcModel m(cal);
+
+  core::TimeIterationOptions topts;
+  topts.base_level = 2;
+  topts.max_iterations = 3;
+  topts.tolerance = 0.0;
+  const auto ti = core::solve_time_iteration(m, topts);
+  const core::AsgPolicy& policy = *ti.policy;
+
+  const core::ScalarPolicyView scalar_view(policy);
+
+  const core::InitialPolicyEvaluator warm_eval(m);
+  for (const std::vector<double>& x_unit :
+       {std::vector<double>{0.5, 0.5}, {0.2, 0.8}, {0.9, 0.1}}) {
+    std::vector<double> warm(2);
+    warm_eval.evaluate(0, x_unit, warm);
+    for (int z = 0; z < m.num_shocks(); ++z) {
+      const auto gathered = m.solve_point(z, x_unit, policy, warm);
+      const auto scalar = m.solve_point(z, x_unit, scalar_view, warm);
+      EXPECT_EQ(gathered.converged, scalar.converged);
+      EXPECT_EQ(gathered.solver_iterations, scalar.solver_iterations);
+      // Same point-interpolation demand; the gathered path carries it in
+      // collapsed calls (one per residual/Jacobian evaluation, not Ns).
+      EXPECT_EQ(gathered.interpolations, scalar.interpolations);
+      EXPECT_GT(gathered.gathers, 0);
+      EXPECT_LT(gathered.gathers, gathered.interpolations / m.num_shocks() + 1);
+      ASSERT_EQ(gathered.dofs.size(), scalar.dofs.size());
+      for (std::size_t j = 0; j < gathered.dofs.size(); ++j)
+        EXPECT_EQ(gathered.dofs[j], scalar.dofs[j]) << "z=" << z << " dof " << j;
+    }
+  }
+}
+
 TEST(IrbcModel, RejectsBadCalibrations) {
   IrbcCalibration cal;
   cal.countries = 0;

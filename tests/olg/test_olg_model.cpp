@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/policy.hpp"
+#include "core/time_iteration.hpp"
 #include "util/rng.hpp"
 
 namespace hddm::olg {
@@ -126,6 +127,79 @@ TEST(OlgModel, SolvePointConvergesAcrossStateSpace) {
     converged += m.solve_point(z, x_unit, pnext, warm).converged;
   }
   EXPECT_GE(converged, trials - 1);
+}
+
+TEST(OlgModel, EulerResidualsBatchMatchesScalarColumns) {
+  // The batched residual must reproduce per-column euler_residuals exactly —
+  // the equivalence the batched finite-difference Jacobian relies on.
+  const OlgModel m = make_model(6);
+  const SteadyPolicy pnext(m);
+  const int d = m.state_dim();
+  const auto sd = static_cast<std::size_t>(d);
+
+  const std::vector<double> x_unit(sd, 0.5);
+  const auto s = m.decode_state(m.domain().to_physical(x_unit));
+
+  // A few perturbed savings columns around the steady-state profile.
+  const SteadyState& ss = m.steady_state();
+  constexpr std::size_t kCols = 4;
+  std::vector<double> block(kCols * sd);
+  util::Rng rng(31);
+  for (std::size_t col = 0; col < kCols; ++col)
+    for (int a = 0; a < d; ++a)
+      block[col * sd + static_cast<std::size_t>(a)] =
+          std::max(ss.savings[static_cast<std::size_t>(a)], 0.05) * (0.8 + 0.4 * rng.uniform());
+
+  OlgModel::ResidualScratch scratch;
+  core::EvalCounters counters;
+  std::vector<double> batched(kCols * sd);
+  m.euler_residuals_batch(0, s, block, kCols, pnext, batched, scratch, &counters);
+  EXPECT_EQ(counters.gathers, 1);
+  // One interpolation per (successor shock with mass) x (column).
+  int nonzero_successors = 0;
+  for (const double prob : m.economy().chain.row(0))
+    if (prob > 0.0) ++nonzero_successors;
+  EXPECT_EQ(counters.interpolations, nonzero_successors * static_cast<int>(kCols));
+
+  std::vector<double> scalar(sd);
+  for (std::size_t col = 0; col < kCols; ++col) {
+    m.euler_residuals(0, s, std::span<const double>(block).subspan(col * sd, sd), pnext, scalar);
+    for (int a = 0; a < d; ++a)
+      EXPECT_EQ(batched[col * sd + static_cast<std::size_t>(a)],
+                scalar[static_cast<std::size_t>(a)])
+          << "column " << col << " age " << a;
+  }
+}
+
+TEST(OlgModel, SolvePointGatheredMatchesScalarBitIdentical) {
+  // Same contract as the IRBC parity test, on the OLG Euler system: routing
+  // the Newton-internal interpolations through AsgPolicy::evaluate_gather
+  // must not change one bit of the solved point.
+  const OlgModel m = make_model(5);
+
+  core::TimeIterationOptions topts;
+  topts.base_level = 2;
+  topts.max_iterations = 2;
+  topts.tolerance = 0.0;
+  const auto ti = core::solve_time_iteration(m, topts);
+  const core::AsgPolicy& policy = *ti.policy;
+
+  const core::ScalarPolicyView scalar_view(policy);
+
+  std::vector<double> warm(static_cast<std::size_t>(m.ndofs()));
+  for (const double center : {0.45, 0.55}) {
+    const std::vector<double> x_unit(static_cast<std::size_t>(m.state_dim()), center);
+    policy.evaluate(0, x_unit, warm);
+    const auto gathered = m.solve_point(1, x_unit, policy, warm);
+    const auto scalar = m.solve_point(1, x_unit, scalar_view, warm);
+    EXPECT_EQ(gathered.converged, scalar.converged);
+    EXPECT_EQ(gathered.solver_iterations, scalar.solver_iterations);
+    EXPECT_EQ(gathered.interpolations, scalar.interpolations);
+    EXPECT_GT(gathered.gathers, 0);
+    ASSERT_EQ(gathered.dofs.size(), scalar.dofs.size());
+    for (std::size_t j = 0; j < gathered.dofs.size(); ++j)
+      EXPECT_EQ(gathered.dofs[j], scalar.dofs[j]) << "dof " << j;
+  }
 }
 
 TEST(OlgModel, EulerResidualZeroAfterSolve) {

@@ -103,6 +103,37 @@ TEST(Dispatcher, CoalescedSubmissionsStayBitIdentical) {
   EXPECT_GE(dispatcher.stats().mean_batch(), 1.0);
 }
 
+// The gather-accounting counter: every *accepted* try_submit is one
+// submitted run, rejections are not, and mean_run reports points per run.
+TEST(Dispatcher, SubmittedRunCounterTracksAcceptedTickets) {
+  Fixture fx;
+  DeviceDispatcher dispatcher({/*queue_capacity=*/16, /*max_batch=*/16});
+  constexpr std::size_t kRuns = 4;
+  constexpr std::size_t kPerRun = 4;
+  const std::vector<double> xs = fx.random_points(kRuns * kPerRun, 41);
+  std::vector<double> got(kRuns * kPerRun * kDofs);
+
+  const DispatcherStats before = dispatcher.stats();
+  std::vector<DeviceDispatcher::Ticket> tickets;
+  for (std::size_t t = 0; t < kRuns; ++t) {
+    auto ticket = dispatcher.try_submit(*fx.device, xs.data() + t * kPerRun * kDim,
+                                        got.data() + t * kPerRun * kDofs, kPerRun);
+    if (ticket) tickets.push_back(std::move(ticket));
+  }
+  // An oversized request the saturated queue rejects must not count as a run.
+  std::vector<double> big_x(32 * kDim, 0.5), big_v(32 * kDofs);
+  while (dispatcher.try_submit(*fx.device, big_x.data(), big_v.data(), 32)) {
+  }
+  for (auto& t : tickets) dispatcher.wait(std::move(t));
+
+  const DispatcherStats delta = dispatcher.stats().since(before);
+  EXPECT_EQ(tickets.size(), kRuns);  // all small runs fit the capacity
+  EXPECT_EQ(delta.submitted_runs, kRuns);
+  EXPECT_EQ(delta.offloaded_points, kRuns * kPerRun);  // only accepted runs complete
+  EXPECT_EQ(delta.rejected_points, 32u);
+  EXPECT_DOUBLE_EQ(delta.mean_run(), static_cast<double>(kPerRun));
+}
+
 // An oversized single submission is admitted but drained in max_batch-sized
 // launches — max_batch really caps the per-launch point count.
 TEST(Dispatcher, OversizedSubmissionIsSlicedIntoMaxBatchLaunches) {

@@ -176,6 +176,57 @@ TEST(FiniteDifference, MatchesAnalyticJacobian) {
   EXPECT_NEAR(jac(1, 1), std::sin(u[0]), 1e-6);
 }
 
+TEST(FiniteDifference, BatchedColumnsMatchScalarBitIdentical) {
+  // The batched overload must produce the same Jacobian to the bit when the
+  // batch callback computes each column exactly like the scalar residual.
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] * u[0] + std::sin(u[1]) - 0.3 * u[2];
+    out[1] = std::exp(0.2 * u[0]) * u[1];
+    out[2] = u[2] * u[2] * u[2] - u[0];
+  };
+  const BatchResidualFn fb = [&f](std::span<const double> us, std::span<double> fs,
+                                  std::size_t ncols) {
+    for (std::size_t c = 0; c < ncols; ++c) f(us.subspan(c * 3, 3), fs.subspan(c * 3, 3));
+  };
+  const std::vector<double> u{0.7, -1.3, 0.4};
+  std::vector<double> fu(3);
+  f(u, fu);
+
+  util::Matrix scalar_jac(3, 3), batched_jac(3, 3);
+  int scalar_evals = 0, batched_evals = 0;
+  finite_difference_jacobian(f, u, fu, 1e-7, scalar_jac, &scalar_evals);
+  finite_difference_jacobian(fb, u, fu, 1e-7, batched_jac, &batched_evals);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_EQ(scalar_jac(r, c), batched_jac(r, c)) << "entry (" << r << "," << c << ")";
+  // eval_count counts residual evaluations on both paths, not callbacks.
+  EXPECT_EQ(scalar_evals, 3);
+  EXPECT_EQ(batched_evals, 3);
+}
+
+TEST(Newton, BatchResidualPathSolvesIdentically) {
+  // A coupled nonlinear system solved twice: scalar-FD and batched-FD must
+  // walk the same trajectory (identical Jacobians -> identical iterates).
+  const ResidualFn f = [](std::span<const double> u, std::span<double> out) {
+    out[0] = u[0] * u[0] - u[1] - 0.5;
+    out[1] = std::tanh(u[1]) + 0.3 * u[0] - 0.7;
+  };
+  const BatchResidualFn fb = [&f](std::span<const double> us, std::span<double> fs,
+                                  std::size_t ncols) {
+    for (std::size_t c = 0; c < ncols; ++c) f(us.subspan(c * 2, 2), fs.subspan(c * 2, 2));
+  };
+  const std::vector<double> guess{2.0, -1.0};
+  const NewtonResult scalar = solve_newton(f, guess);
+  const NewtonResult batched = solve_newton(f, guess, {}, nullptr, &fb);
+  ASSERT_TRUE(scalar.converged());
+  ASSERT_TRUE(batched.converged());
+  EXPECT_EQ(scalar.iterations, batched.iterations);
+  EXPECT_EQ(scalar.residual_evaluations, batched.residual_evaluations);
+  ASSERT_EQ(scalar.solution.size(), batched.solution.size());
+  for (std::size_t i = 0; i < scalar.solution.size(); ++i)
+    EXPECT_EQ(scalar.solution[i], batched.solution[i]) << "component " << i;
+}
+
 // --- Active-set behavior with bounds ---------------------------------------
 
 TEST(NewtonActiveSet, InteriorSolutionUnaffectedByLooseBounds) {
