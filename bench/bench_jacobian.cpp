@@ -1,0 +1,301 @@
+// Jacobian-refresh benchmark: batched finite differences vs the analytic
+// Euler-system columns (DESIGN.md, "Jacobian pipeline").
+//
+// PR 4 collapsed the per-solve interpolation traffic into gathers, leaving
+// the Newton hot loop dominated by Jacobian refreshes: a batched-FD sweep
+// still costs N full residual evaluations (one gathered interpolation pass
+// carrying Ns x N requests) per refresh, while the analytic refresh costs
+// ONE evaluate_gather_with_gradient of Ns requests. Benchmarks time the two
+// refresh paths on identical IRBC trial points:
+//   jacobian/fd/N<k>        — solver::finite_difference_jacobian over the
+//                             batched residual (the PR 4 regime)
+//   jacobian/analytic/N<k>  — IrbcModel::euler_jacobian (closed-form columns)
+// across country counts N (d = ndofs = N, Ns = 2^min(N,4)).
+//
+// The report adds untimed acceptance checks and FAILS (non-zero exit) if
+//   * at N >= 4 the analytic sweep does not beat the batched-FD sweep,
+//   * Newton solutions under Analytic vs BatchedFd mode diverge beyond the
+//     documented trajectory tolerance (1e-6 inf-norm on converged dofs —
+//     both modes solve to residual 1e-10, so agreeing endpoints are the
+//     correctness statement; iteration paths may differ),
+//   * FD-check mode flags any column on those converged solves (analytic
+//     columns must sit within fd_check_tolerance of the FD reference), or
+//   * no sampled point produced a converged trajectory pair at some N.
+// Solves where BOTH modes fail to converge are excluded: an unconverged
+// Newton stops at whatever iterate the line search died on, which depends
+// on the Jacobian path by construction (and wanders into floor/clamp
+// regions where forward differences straddle kinks), so neither endpoint
+// agreement nor the FD audit is meaningful there.
+//
+// Env knobs:  HDDM_JAC_SWEEPS (default 64)  Jacobian refreshes per rep
+//             HDDM_JAC_LEVEL  (default 4)   regular grid level of p_next
+//             HDDM_JAC_SOLVES (default 3)   solve_point trajectory points
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "benchlib/benchlib.hpp"
+#include "core/policy.hpp"
+#include "irbc/irbc_model.hpp"
+#include "sparse_grid/hierarchize.hpp"
+#include "sparse_grid/regular.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hddm;
+
+constexpr int kCountryCounts[] = {2, 4, 8};
+/// Documented trajectory tolerance: inf-norm between converged Newton
+/// solutions under Analytic vs BatchedFd refreshes (see DESIGN.md).
+constexpr double kTrajectoryTolerance = 1e-6;
+
+std::unique_ptr<core::AsgPolicy> build_policy(const irbc::IrbcModel& model, int level,
+                                              std::uint64_t seed) {
+  const int N = model.state_dim();
+  std::vector<std::unique_ptr<core::ShockGrid>> grids;
+  for (int z = 0; z < model.num_shocks(); ++z) {
+    sg::GridStorage storage(N);
+    sg::build_regular_grid(storage, level);
+    // Near-identity policy (k' = k plus a few percent of noise), hierarchized
+    // so interpolants stay inside the solve box — the bench_gather workload.
+    sg::DenseGridData dense = sg::make_dense_grid(storage, N);
+    util::Rng rng(seed + static_cast<std::uint64_t>(z));
+    for (std::uint32_t p = 0; p < storage.size(); ++p) {
+      const std::vector<double> phys = model.domain().to_physical(storage.coordinates(p));
+      double* row = dense.surplus_row(p);
+      for (int j = 0; j < N; ++j)
+        row[j] = phys[static_cast<std::size_t>(j)] * (1.0 + 0.02 * rng.uniform(-1.0, 1.0));
+    }
+    sg::hierarchize_tail(dense, 0);
+    grids.push_back(
+        std::make_unique<core::ShockGrid>(storage, N, dense.surplus, kernels::KernelKind::X86));
+  }
+  return std::make_unique<core::AsgPolicy>(N, std::move(grids));
+}
+
+struct Setup {
+  // Three model twins differing only in jacobian_mode (the mode is fixed at
+  // model construction; grids and trial points are shared).
+  std::unique_ptr<irbc::IrbcModel> model_fd;
+  std::unique_ptr<irbc::IrbcModel> model_an;
+  std::unique_ptr<irbc::IrbcModel> model_check;
+  std::unique_ptr<core::AsgPolicy> policy;
+  std::vector<double> k;       // today's state (physical)
+  std::vector<double> us;      // sweeps trial points (rows of N)
+  std::size_t sweeps = 0;
+  // Untimed acceptance results (converged trajectory pairs only).
+  bool trajectories_ok = true;
+  int converged_pairs = 0;
+  double worst_trajectory_dev = 0.0;
+  long long fd_check_flagged = 0;
+  double fd_check_max_dev = 0.0;
+  long long analytic_refreshes = 0;
+  long long fd_refreshes = 0;
+};
+
+Setup make_setup(int countries) {
+  Setup s;
+  irbc::IrbcCalibration cal;
+  cal.countries = countries;
+  cal.jacobian_mode = solver::JacobianMode::BatchedFd;
+  s.model_fd = std::make_unique<irbc::IrbcModel>(cal);
+  cal.jacobian_mode = solver::JacobianMode::Analytic;
+  s.model_an = std::make_unique<irbc::IrbcModel>(cal);
+  cal.jacobian_mode = solver::JacobianMode::FdCheck;
+  s.model_check = std::make_unique<irbc::IrbcModel>(cal);
+
+  const int level = static_cast<int>(util::env_long("HDDM_JAC_LEVEL", 4));
+  s.sweeps = static_cast<std::size_t>(util::env_long("HDDM_JAC_SWEEPS", 64));
+  const auto solves = static_cast<int>(util::env_long("HDDM_JAC_SOLVES", 3));
+  s.policy = build_policy(*s.model_an, level, 100);
+
+  const auto N = static_cast<std::size_t>(countries);
+  util::Rng rng(7);
+  const std::vector<double> x_unit = rng.uniform_point(countries);
+  s.k = s.model_an->domain().to_physical(x_unit);
+  // Trial points around the state — the iterates a Newton refresh sees.
+  s.us.resize(s.sweeps * N);
+  for (std::size_t sweep = 0; sweep < s.sweeps; ++sweep)
+    for (std::size_t j = 0; j < N; ++j)
+      s.us[sweep * N + j] = s.k[j] * (1.0 + 0.05 * rng.uniform(-1.0, 1.0));
+
+  // --- untimed acceptance: trajectories + FD-check audit on real solves ----
+  const core::InitialPolicyEvaluator warm_eval(*s.model_an);
+  const int Ns = s.model_an->num_shocks();
+  util::Rng prng(11);
+  for (int p = 0; p < solves; ++p) {
+    // Interior sample: random corners of the +-20% box are frequently
+    // infeasible at higher N (negative consumption), and an unconverged
+    // solve's endpoint is not comparable across Jacobian paths.
+    std::vector<double> xp = prng.uniform_point(countries);
+    for (double& v : xp) v = 0.25 + 0.5 * v;
+    std::vector<double> warm(N);
+    warm_eval.evaluate(0, xp, warm);
+    const int z = p % Ns;
+    const auto fd = s.model_fd->solve_point(z, xp, *s.policy, warm);
+    const auto an = s.model_an->solve_point(z, xp, *s.policy, warm);
+
+    if (fd.converged != an.converged) s.trajectories_ok = false;  // one-sided failure
+    if (!fd.converged || !an.converged) continue;
+    ++s.converged_pairs;
+    const auto ck = s.model_check->solve_point(z, xp, *s.policy, warm);
+    for (std::size_t j = 0; j < N; ++j) {
+      const double dev = std::fabs(an.dofs[j] - fd.dofs[j]);
+      s.worst_trajectory_dev = std::max(s.worst_trajectory_dev, dev);
+      if (dev > kTrajectoryTolerance) s.trajectories_ok = false;
+    }
+    s.analytic_refreshes += an.jacobian.analytic_refreshes;
+    s.fd_refreshes += fd.jacobian.fd_refreshes;
+    s.fd_check_flagged += ck.jacobian.fd_check_flagged_columns;
+    s.fd_check_max_dev = std::max(s.fd_check_max_dev, ck.jacobian.fd_check_max_rel_dev);
+  }
+  if (s.converged_pairs == 0) s.trajectories_ok = false;
+  return s;
+}
+
+Setup& setup(int countries) {
+  static std::map<int, std::unique_ptr<Setup>> cache;
+  auto& slot = cache[countries];
+  if (!slot) slot = std::make_unique<Setup>(make_setup(countries));
+  return *slot;
+}
+
+void bench_fd(benchlib::State& state, int countries) {
+  Setup& s = setup(countries);
+  const auto N = static_cast<std::size_t>(countries);
+  util::Matrix jac(N, N);
+  std::vector<double> f0(N);
+  irbc::IrbcModel::ResidualScratch scratch;
+  const irbc::IrbcModel& model = *s.model_fd;
+  const solver::BatchResidualFn batch = [&](std::span<const double> us, std::span<double> fs,
+                                            std::size_t ncols) {
+    model.euler_residuals_batch(0, s.k, us, ncols, *s.policy, fs, scratch);
+  };
+  state.set_items_per_rep(static_cast<double>(s.sweeps));
+  state.run([&] {
+    for (std::size_t sweep = 0; sweep < s.sweeps; ++sweep) {
+      const std::span<const double> u(s.us.data() + sweep * N, N);
+      // The refresh as solve_newton runs it: residual at u, then the batched
+      // N-column sweep (one gather carrying Ns x N requests).
+      model.euler_residuals_batch(0, s.k, u, 1, *s.policy, f0, scratch);
+      solver::finite_difference_jacobian(batch, u, f0, 1e-7, jac);
+    }
+  });
+  benchlib::do_not_optimize(jac.data());
+}
+
+void bench_analytic(benchlib::State& state, int countries) {
+  Setup& s = setup(countries);
+  const auto N = static_cast<std::size_t>(countries);
+  util::Matrix jac(N, N);
+  irbc::IrbcModel::ResidualScratch scratch;
+  const irbc::IrbcModel& model = *s.model_an;
+  state.set_items_per_rep(static_cast<double>(s.sweeps));
+  state.run([&] {
+    for (std::size_t sweep = 0; sweep < s.sweeps; ++sweep) {
+      const std::span<const double> u(s.us.data() + sweep * N, N);
+      // One closed-form refresh: a single gather-with-gradient of Ns
+      // requests replaces the whole FD sweep.
+      model.euler_jacobian(0, s.k, u, *s.policy, jac, scratch);
+    }
+  });
+  benchlib::do_not_optimize(jac.data());
+}
+
+int jacobian_report(const benchlib::RunReport& report) {
+  bench::print_header("Jacobian refresh: batched-FD sweep vs analytic columns");
+  std::printf("(one refresh = the Jacobian work of one Newton iteration at one grid point;\n"
+              " FD pays N residual columns through one gather, analytic pays one\n"
+              " gather-with-gradient — see DESIGN.md, \"Jacobian pipeline\")\n");
+
+  util::Table table({"countries", "Ns", "path", "host s/refresh", "speedup"});
+  int rc = 0;
+  for (const int countries : kCountryCounts) {
+    std::string tag = "N";
+    tag += std::to_string(countries);
+    const auto* fd = report.find_measured("jacobian/fd/" + tag);
+    const auto* an = report.find_measured("jacobian/analytic/" + tag);
+    if (fd == nullptr || an == nullptr) continue;
+    Setup& s = setup(countries);
+    const int Ns = s.model_an->num_shocks();
+    const double fd_s = fd->seconds_per_item();
+    const double an_s = an->seconds_per_item();
+    const double speedup = an_s > 0.0 ? fd_s / an_s : 0.0;
+    table.add_row({std::to_string(countries), std::to_string(Ns), "batched-fd",
+                   util::fmt_seconds(fd_s), "1.00"});
+    table.add_row({std::to_string(countries), std::to_string(Ns), "analytic",
+                   util::fmt_seconds(an_s), util::fmt_double(speedup, 2)});
+
+    // Acceptance at N >= 4 — the paper-relevant scale: the analytic refresh
+    // must actually be faster than the batched-FD sweep it replaces.
+    if (countries >= 4 && !(speedup > 1.0)) {
+      std::fprintf(stderr,
+                   "FAIL: jacobian/analytic/%s (%.3e s/refresh) does not beat the batched-FD "
+                   "sweep (%.3e s/refresh)\n",
+                   tag.c_str(), an_s, fd_s);
+      rc = 1;
+    }
+  }
+  bench::print_table(table);
+
+  bench::print_header("Newton-trajectory + FD-check acceptance (untimed, converged pairs)");
+  util::Table solves({"countries", "pairs", "analytic refreshes", "fd refreshes",
+                      "worst |dofs| dev", "fd-check max dev", "flagged cols", "within tol"});
+  for (const int countries : kCountryCounts) {
+    Setup& s = setup(countries);
+    solves.add_row({std::to_string(countries), std::to_string(s.converged_pairs),
+                    util::fmt_count(s.analytic_refreshes), util::fmt_count(s.fd_refreshes),
+                    util::fmt_double(s.worst_trajectory_dev, 10),
+                    util::fmt_double(s.fd_check_max_dev, 8),
+                    util::fmt_count(s.fd_check_flagged),
+                    s.trajectories_ok && s.fd_check_flagged == 0 ? "yes" : "NO"});
+    if (!s.trajectories_ok) {
+      std::fprintf(stderr,
+                   "FAIL: N=%d analytic-vs-FD Newton solutions diverge beyond %.0e "
+                   "(worst %.3e over %d converged pairs), converge one-sidedly, or no "
+                   "sampled point converged\n",
+                   countries, kTrajectoryTolerance, s.worst_trajectory_dev, s.converged_pairs);
+      rc = 1;
+    }
+    if (s.fd_check_flagged != 0) {
+      std::fprintf(stderr,
+                   "FAIL: N=%d FD-check flagged %lld column(s), max column-scaled deviation "
+                   "%.3e — the analytic derivative disagrees with the FD reference\n",
+                   countries, s.fd_check_flagged, s.fd_check_max_dev);
+      rc = 1;
+    }
+  }
+  bench::print_table(solves);
+  if (rc == 0)
+    std::printf("parity: analytic and FD Newton solutions agree within %.0e; "
+                "FD-check flagged no columns\n",
+                kTrajectoryTolerance);
+  return rc;
+}
+
+const bool registered = [] {
+  for (const int countries : kCountryCounts) {
+    std::string tag = "N";
+    tag += std::to_string(countries);
+    benchlib::register_benchmark("jacobian/fd/" + tag, [countries](benchlib::State& st) {
+      bench_fd(st, countries);
+    });
+    benchlib::register_benchmark("jacobian/analytic/" + tag, [countries](benchlib::State& st) {
+      bench_analytic(st, countries);
+    });
+  }
+  benchlib::register_report(jacobian_report);
+  return true;
+}();
+
+}  // namespace
+
+int main(int argc, char** argv) { return hddm::benchlib::run_main(argc, argv, "bench_jacobian"); }

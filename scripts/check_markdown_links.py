@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for the repo's doc suite.
+
+Validates, for every tracked ``*.md`` file (or an explicit file list):
+
+* **relative links** ``[text](path)`` — the target file/directory must
+  exist (external ``http(s)://`` / ``mailto:`` targets are skipped);
+* **anchors** ``[text](path#anchor)`` / ``[text](#anchor)`` — the anchor
+  must match a heading of the target file under GitHub's slug rules
+  (lowercase, punctuation stripped, spaces to hyphens, ``-N`` suffixes for
+  duplicates);
+* **reference-style definitions** ``[label]: path`` — same file check.
+
+Fenced code blocks are ignored, so derivations and shell snippets cannot
+produce false positives. Exit status is non-zero when any link dangles —
+the cheap CI job that keeps README/DESIGN/bench docs from rotting
+(DESIGN.md's header cross-reference table in particular).
+
+Usage:
+    check_markdown_links.py [--root DIR] [files...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories never scanned for markdown (build trees, VCS internals).
+SKIP_DIRS = {".git", ".github", "node_modules"}
+SKIP_PREFIXES = ("build",)
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s{0,3}\[([^\]]+)\]:\s*(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fences(text: str) -> str:
+    """Blanks out fenced code blocks (keeps line structure for messages)."""
+    out, in_fence = [], False
+    for line in text.splitlines(keepends=True):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            out.append("\n")
+        elif in_fence:
+            out.append("\n")
+        else:
+            out.append(line)
+    return "".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, drop punctuation,
+    spaces to hyphens."""
+    # Inline code/emphasis markers disappear, link text survives; underscores
+    # are kept verbatim (GitHub does not slug them away).
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    heading = heading.replace("`", "").replace("*", "")
+    slug = []
+    for ch in heading.strip().lower():
+        if ch.isalnum() or ch in ("-", "_"):
+            slug.append(ch)
+        elif ch == " ":
+            slug.append("-")
+        # everything else (punctuation, arrows) is dropped
+    return "".join(slug)
+
+
+def heading_slugs(text: str) -> set[str]:
+    """All anchor slugs of a document, with GitHub's -N duplicate suffixes."""
+    seen: dict[str, int] = {}
+    slugs: set[str] = set()
+    for match in HEADING.finditer(strip_fences(text)):
+        slug = github_slug(match.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        parts = rel.parts
+        if any(p in SKIP_DIRS for p in parts):
+            continue
+        if any(p.startswith(pre) for p in parts[:-1] for pre in SKIP_PREFIXES):
+            continue
+        files.append(path)
+    return files
+
+
+def check_file(md: Path, root: Path, slug_cache: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    text = md.read_text(encoding="utf-8")
+    body = strip_fences(text)
+
+    targets = [m.group(1) for m in INLINE_LINK.finditer(body)]
+    targets += [m.group(2) for m in REF_DEF.finditer(body)]
+
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("<"):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(root)}: dead link '{target}' "
+                              f"(no such file: {path_part})")
+                continue
+        else:
+            resolved = md  # bare '#anchor' targets this document
+        if anchor:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown targets are not checked
+            if resolved not in slug_cache:
+                slug_cache[resolved] = heading_slugs(resolved.read_text(encoding="utf-8"))
+            if anchor.lower() not in slug_cache[resolved]:
+                errors.append(f"{md.relative_to(root)}: dangling anchor '{target}' "
+                              f"(no heading slugs to '{anchor}' in "
+                              f"{resolved.relative_to(root)})")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: the script's parent's parent)")
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="explicit markdown files (default: every *.md under --root)")
+    args = parser.parse_args()
+
+    root = args.root.resolve()
+    files = [f.resolve() for f in args.files] if args.files else markdown_files(root)
+
+    slug_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    for md in files:
+        errors.extend(check_file(md, root, slug_cache))
+
+    for err in errors:
+        print(f"ERROR: {err}", file=sys.stderr)
+    print(f"check_markdown_links: {len(files)} file(s), {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,6 +151,7 @@ BuiltState build_state_distributed(SimComm group, int z, const core::DynamicMode
       if (!res.converged) ++built.failures;
       stats.interpolations += static_cast<std::uint64_t>(res.interpolations);
       stats.solver_gathers += static_cast<std::uint64_t>(res.gathers);
+      stats.record_jacobian(res.jacobian);
       std::copy(res.dofs.begin(), res.dofs.end(),
                 my_values.begin() + static_cast<std::ptrdiff_t>((k - mine.begin) * nd));
 

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "solver/newton.hpp"
 #include "sparse_grid/domain.hpp"
 
 namespace hddm::core {
@@ -84,6 +85,55 @@ class PolicyEvaluator {
       evaluate(requests[i].z, xs.subspan(requests[i].point * d, d),
                out.subspan(i * out_stride, nd));
   }
+
+  /// Gathered value + policy-gradient evaluation — the entry point of the
+  /// analytic Euler Jacobians: one call per Jacobian refresh replaces the
+  /// n-column finite-difference sweep's n x Ns interpolation requests.
+  /// Request i fills values[i*value_stride .. +ndofs) exactly like
+  /// evaluate_gather, plus grads[i*grad_stride .. +ndofs*d) with the
+  /// row-major (dof-major) partials d p_dof / d x_t of shock z's policy
+  /// w.r.t. the unit-cube coordinates. `value_stride >= ndofs`,
+  /// `grad_stride >= ndofs * d`.
+  ///
+  /// Contract (see DESIGN.md, "Jacobian pipeline"): AsgPolicy's override
+  /// computes values on the compressed-format chain walk — bit-identical to
+  /// the x86 kernel's evaluate(), ULP-equal (not bit-equal) to the other
+  /// kernels — and gradients as the exact a.e. derivative of the piecewise-
+  /// multilinear interpolant (subgradient midpoint at basis kinks). This default
+  /// serves evaluators without analytic gradients: values loop evaluate()
+  /// (bit-identical to evaluate_gather), gradients are one-sided finite
+  /// differences of evaluate() with step `kDefaultGradientStep` — an
+  /// approximation, adequate for tests and non-ASG backends only.
+  virtual void evaluate_gather_with_gradient(std::span<const GatherRequest> requests,
+                                             std::span<const double> xs, std::size_t npoints,
+                                             std::span<double> values, std::size_t value_stride,
+                                             std::span<double> grads,
+                                             std::size_t grad_stride) const {
+    if (requests.empty() || npoints == 0) return;
+    const std::size_t d = xs.size() / npoints;
+    const auto nd = static_cast<std::size_t>(ndofs());
+    std::vector<double> xp(d), vp(nd);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const std::span<const double> x = xs.subspan(requests[i].point * d, d);
+      const std::span<double> value = values.subspan(i * value_stride, nd);
+      evaluate(requests[i].z, x, value);
+      double* grad = grads.data() + i * grad_stride;
+      for (std::size_t t = 0; t < d; ++t) {
+        // One-sided difference kept inside the unit cube (backward at the
+        // upper face so the perturbed point stays evaluable).
+        std::copy(x.begin(), x.end(), xp.begin());
+        const double h = x[t] + kDefaultGradientStep <= 1.0 ? kDefaultGradientStep
+                                                            : -kDefaultGradientStep;
+        xp[t] = x[t] + h;
+        evaluate(requests[i].z, xp, vp);
+        for (std::size_t dof = 0; dof < nd; ++dof)
+          grad[dof * d + t] = (vp[dof] - value[dof]) / h;
+      }
+    }
+  }
+
+  /// Finite-difference step of the default evaluate_gather_with_gradient.
+  static constexpr double kDefaultGradientStep = 1e-6;
 };
 
 /// Result of one grid-point equilibrium solve.
@@ -94,6 +144,11 @@ struct PointSolveResult {
   double residual_norm = 0.0;
   int interpolations = 0;  ///< p_next point-evaluations consumed (the 99% cost)
   int gathers = 0;         ///< evaluate_gather calls that carried them
+  /// Jacobian-provider counters of the point's Newton solve: which mode ran,
+  /// how many analytic vs FD refreshes/columns it produced, and the FD-check
+  /// audit results (zeros outside FdCheck mode). Aggregated per iteration
+  /// into core::IterationStats by both time-iteration drivers.
+  solver::JacobianStats jacobian;
 };
 
 /// A dynamic stochastic model solvable by time iteration (Algorithm 1).

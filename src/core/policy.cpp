@@ -11,6 +11,11 @@ ShockGrid::ShockGrid(const sg::GridStorage& storage, int ndofs, std::span<const 
   kernel_ = kernels::make_kernel(kind, &dense_, &compressed_);
 }
 
+void ShockGrid::evaluate_with_gradient(std::span<const double> x_unit, std::span<double> out,
+                                       std::span<double> grad) const {
+  kernels::evaluate_with_gradient(compressed_, x_unit.data(), out.data(), grad.data());
+}
+
 AsgPolicy::AsgPolicy(int ndofs, std::vector<std::unique_ptr<ShockGrid>> grids)
     : ndofs_(ndofs), grids_(std::move(grids)) {
   if (grids_.empty()) throw std::invalid_argument("AsgPolicy: need at least one shock grid");
@@ -60,6 +65,29 @@ void AsgPolicy::evaluate_batch(int z, std::span<const double> xs, std::span<doub
   for (auto& ticket : tickets) dispatcher_->wait(std::move(ticket));
 }
 
+namespace {
+
+/// Stable counting sort of gather requests by shock, shared by the value and
+/// gradient gather entry points: after the call, `order[offset[z] + k]` is
+/// the index (into `requests`) of shock z's k-th request in call order.
+/// Caller-owned scratch keeps this allocation-free on the hot path.
+void bucket_requests_by_shock(std::span<const GatherRequest> requests, std::size_t num_shocks,
+                              std::vector<std::size_t>& count, std::vector<std::size_t>& offset,
+                              std::vector<std::size_t>& order) {
+  count.assign(num_shocks, 0);
+  for (const GatherRequest& r : requests) ++count[static_cast<std::size_t>(r.z)];
+  offset.assign(num_shocks + 1, 0);
+  for (std::size_t z = 0; z < num_shocks; ++z) offset[z + 1] = offset[z] + count[z];
+  order.resize(requests.size());
+  count.assign(num_shocks, 0);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto z = static_cast<std::size_t>(requests[i].z);
+    order[offset[z] + count[z]++] = i;
+  }
+}
+
+}  // namespace
+
 void AsgPolicy::evaluate_gather(std::span<const GatherRequest> requests,
                                 std::span<const double> xs, std::size_t npoints,
                                 std::span<double> out, std::size_t out_stride) const {
@@ -71,22 +99,50 @@ void AsgPolicy::evaluate_gather(std::span<const GatherRequest> requests,
   const auto nd = static_cast<std::size_t>(ndofs_);
   const std::size_t Ns = grids_.size();
 
-  // Stable counting sort of the requests by shock: `order[offset[z] + k]` is
-  // the index (into `requests`/`out`) of shock z's k-th request in call
-  // order. Scratch is thread_local — this runs inside every Newton residual
+  // Scratch is thread_local — this runs inside every Newton residual
   // evaluation of every worker.
   thread_local std::vector<std::size_t> count, offset, order;
   thread_local std::vector<double> xbuf, vbuf;
-  count.assign(Ns, 0);
-  for (const GatherRequest& r : requests) ++count[static_cast<std::size_t>(r.z)];
-  offset.assign(Ns + 1, 0);
-  for (std::size_t z = 0; z < Ns; ++z) offset[z + 1] = offset[z] + count[z];
-  order.resize(requests.size());
-  count.assign(Ns, 0);
+
+  // Single-shock fast path (ROADMAP item): when every request targets one
+  // shock there is nothing to bucket, and when the requests additionally
+  // walk the coordinate rows in identity order into a contiguous output the
+  // whole call is ONE evaluate_batch with zero staging/scatter copies.
+  // Results stay bit-identical to the general path: the same rows reach the
+  // same kernel in the same order, and the general path's staging copies
+  // are bitwise.
+  const std::int32_t z0 = requests[0].z;
+  bool single_shock = true;
+  bool identity_rows = requests.size() <= npoints;
   for (std::size_t i = 0; i < requests.size(); ++i) {
-    const auto z = static_cast<std::size_t>(requests[i].z);
-    order[offset[z] + count[z]++] = i;
+    single_shock = single_shock && requests[i].z == z0;
+    identity_rows = identity_rows && requests[i].point == i;
+    if (!single_shock) break;
   }
+  if (single_shock) {
+    fastpath_gathers_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t n = requests.size();
+    const double* xin = xs.data();
+    if (!identity_rows) {
+      xbuf.resize(n * d);
+      for (std::size_t k = 0; k < n; ++k)
+        std::copy_n(xs.data() + static_cast<std::size_t>(requests[k].point) * d, d,
+                    xbuf.begin() + static_cast<std::ptrdiff_t>(k * d));
+      xin = xbuf.data();
+    }
+    if (out_stride == nd) {
+      evaluate_batch(z0, std::span<const double>(xin, n * d), out.first(n * nd), n);
+    } else {
+      vbuf.resize(n * nd);
+      evaluate_batch(z0, std::span<const double>(xin, n * d), vbuf, n);
+      for (std::size_t k = 0; k < n; ++k)
+        std::copy_n(vbuf.begin() + static_cast<std::ptrdiff_t>(k * nd), nd,
+                    out.begin() + static_cast<std::ptrdiff_t>(k * out_stride));
+    }
+    return;
+  }
+
+  bucket_requests_by_shock(requests, Ns, count, offset, order);
 
   // One evaluate_batch per populated shock: the bucket's coordinate rows are
   // staged contiguously, drained through the batch entry point (and with an
@@ -106,6 +162,39 @@ void AsgPolicy::evaluate_gather(std::span<const GatherRequest> requests,
     for (std::size_t k = 0; k < n; ++k)
       std::copy_n(vbuf.begin() + static_cast<std::ptrdiff_t>(k * nd), nd,
                   out.begin() + static_cast<std::ptrdiff_t>(order[offset[z] + k] * out_stride));
+  }
+}
+
+void AsgPolicy::evaluate_gather_with_gradient(std::span<const GatherRequest> requests,
+                                              std::span<const double> xs, std::size_t npoints,
+                                              std::span<double> values, std::size_t value_stride,
+                                              std::span<double> grads,
+                                              std::size_t grad_stride) const {
+  if (requests.empty() || npoints == 0) return;
+  gradient_gathers_.fetch_add(1, std::memory_order_relaxed);
+  gradient_requests_.fetch_add(requests.size(), std::memory_order_relaxed);
+
+  const std::size_t d = xs.size() / npoints;
+  const auto nd = static_cast<std::size_t>(ndofs_);
+  const std::size_t Ns = grids_.size();
+
+  // Same per-shock bucketing as evaluate_gather (the PR 4 counting sort) so
+  // each shock's dense grid is walked for a contiguous run of requests; the
+  // walk itself is the CPU-only gold-layout pass of evaluate_with_gradient.
+  thread_local std::vector<std::size_t> count, offset, order;
+  bucket_requests_by_shock(requests, Ns, count, offset, order);
+
+  for (std::size_t z = 0; z < Ns; ++z) {
+    const std::size_t n = offset[z + 1] - offset[z];
+    if (n == 0) continue;
+    const ShockGrid& grid = *grids_[z];
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t i = order[offset[z] + k];
+      const GatherRequest& r = requests[i];
+      grid.evaluate_with_gradient(
+          xs.subspan(static_cast<std::size_t>(r.point) * d, d),
+          values.subspan(i * value_stride, nd), grads.subspan(i * grad_stride, nd * d));
+    }
   }
 }
 

@@ -30,6 +30,13 @@ namespace hddm::core {
 struct GatherStats {
   std::uint64_t gathers = 0;            ///< evaluate_gather calls served
   std::uint64_t gathered_requests = 0;  ///< requests carried by those calls
+  /// evaluate_gather calls that took the single-shock fast path (all
+  /// requests on one shock: no per-shock bucketing, and no scatter copy when
+  /// the request rows are the identity and the output is contiguous) —
+  /// proof the ROADMAP fast path actually fires.
+  std::uint64_t fastpath_gathers = 0;
+  std::uint64_t gradient_gathers = 0;   ///< evaluate_gather_with_gradient calls
+  std::uint64_t gradient_requests = 0;  ///< requests carried by those calls
   [[nodiscard]] double mean_requests() const {
     return gathers == 0 ? 0.0
                         : static_cast<double>(gathered_requests) / static_cast<double>(gathers);
@@ -37,7 +44,10 @@ struct GatherStats {
   /// Counter delta relative to an earlier snapshot of the same policy (how
   /// the per-iteration stats in core::IterationStats are derived).
   [[nodiscard]] GatherStats since(const GatherStats& before) const {
-    return {gathers - before.gathers, gathered_requests - before.gathered_requests};
+    return {gathers - before.gathers, gathered_requests - before.gathered_requests,
+            fastpath_gathers - before.fastpath_gathers,
+            gradient_gathers - before.gradient_gathers,
+            gradient_requests - before.gradient_requests};
   }
 };
 
@@ -57,6 +67,15 @@ class ShockGrid {
   void evaluate(std::span<const double> x_unit, std::span<double> out) const {
     kernel_->evaluate(x_unit.data(), out.data());
   }
+
+  /// Value + gradient on the compressed-format walk: out[0..ndofs) = p(x),
+  /// grad[dof*dim + t] = d p_dof / d x_t (row-major per dof). Values are
+  /// bit-identical to the x86 kernel's evaluate() (same chain walk — see
+  /// kernels::evaluate_with_gradient), ULP-bounded vs the other kernels; the
+  /// gradient is the exact a.e. derivative of the piecewise-multilinear
+  /// interpolant (validated against sg::reference_interpolate_with_gradient).
+  void evaluate_with_gradient(std::span<const double> x_unit, std::span<double> out,
+                              std::span<double> grad) const;
 
  private:
   sg::DenseGridData dense_;
@@ -93,11 +112,26 @@ class AsgPolicy final : public PolicyEvaluator {
                        std::size_t npoints, std::span<double> out,
                        std::size_t out_stride) const override;
 
+  /// Gathered value + policy-gradient evaluation for the analytic Euler
+  /// Jacobians: requests are bucketed per shock with the same stable
+  /// counting sort as evaluate_gather, then each request runs the dense-walk
+  /// ShockGrid::evaluate_with_gradient (CPU only — the gradient walk never
+  /// rides the device pipeline; see the contract on the base class and
+  /// DESIGN.md, "Jacobian pipeline").
+  void evaluate_gather_with_gradient(std::span<const GatherRequest> requests,
+                                     std::span<const double> xs, std::size_t npoints,
+                                     std::span<double> values, std::size_t value_stride,
+                                     std::span<double> grads,
+                                     std::size_t grad_stride) const override;
+
   /// Cumulative evaluate_gather traffic on this policy (thread-safe; the
   /// drivers report per-iteration deltas of these, like the device stats).
   [[nodiscard]] GatherStats gather_stats() const {
     return {gathers_.load(std::memory_order_relaxed),
-            gathered_requests_.load(std::memory_order_relaxed)};
+            gathered_requests_.load(std::memory_order_relaxed),
+            fastpath_gathers_.load(std::memory_order_relaxed),
+            gradient_gathers_.load(std::memory_order_relaxed),
+            gradient_requests_.load(std::memory_order_relaxed)};
   }
 
   [[nodiscard]] const ShockGrid& grid(int z) const { return *grids_[static_cast<std::size_t>(z)]; }
@@ -129,13 +163,20 @@ class AsgPolicy final : public PolicyEvaluator {
   // Gather traffic counters (relaxed: diagnostics, not synchronization).
   mutable std::atomic<std::uint64_t> gathers_{0};
   mutable std::atomic<std::uint64_t> gathered_requests_{0};
+  mutable std::atomic<std::uint64_t> fastpath_gathers_{0};
+  mutable std::atomic<std::uint64_t> gradient_gathers_{0};
+  mutable std::atomic<std::uint64_t> gradient_requests_{0};
 };
 
 /// Per-point view of another evaluator: forwards evaluate() but keeps the
 /// PolicyEvaluator default evaluate_batch/evaluate_gather loops — the
 /// pre-gather scalar regime. Parity tests and bench_gather wrap the same
 /// AsgPolicy in this view to pit gathered against per-shock scalar
-/// evaluation bit for bit.
+/// evaluation bit for bit. The gradient entry point forwards to the inner
+/// evaluator unchanged: it is not part of the scalar-vs-gathered value
+/// contract under test, and forwarding keeps solve trajectories bit-
+/// identical across the two views in every Jacobian mode (the base-class
+/// finite-difference default would perturb them).
 class ScalarPolicyView final : public PolicyEvaluator {
  public:
   explicit ScalarPolicyView(const PolicyEvaluator& inner) : inner_(inner) {}
@@ -143,6 +184,14 @@ class ScalarPolicyView final : public PolicyEvaluator {
   [[nodiscard]] int ndofs() const override { return inner_.ndofs(); }
   void evaluate(int z, std::span<const double> x_unit, std::span<double> out) const override {
     inner_.evaluate(z, x_unit, out);
+  }
+  void evaluate_gather_with_gradient(std::span<const GatherRequest> requests,
+                                     std::span<const double> xs, std::size_t npoints,
+                                     std::span<double> values, std::size_t value_stride,
+                                     std::span<double> grads,
+                                     std::size_t grad_stride) const override {
+    inner_.evaluate_gather_with_gradient(requests, xs, npoints, values, value_stride, grads,
+                                         grad_stride);
   }
 
  private:

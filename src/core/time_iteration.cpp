@@ -43,6 +43,13 @@ TimeIterationDriver::BuiltShock TimeIterationDriver::build_shock(int z,
   std::atomic<std::uint64_t> gathers{0};
   std::atomic<double> linf_acc{stats.policy_change_linf};
   std::atomic<double> l2_acc{stats.policy_change_l2};
+  // Jacobian-provider counters (the point solves run on the pool, so the
+  // per-solve JacobianStats are summed through atomics like the rest).
+  std::atomic<int> jac_refreshes_analytic{0}, jac_refreshes_fd{0};
+  std::atomic<int> jac_columns_analytic{0}, jac_columns_fd{0};
+  std::atomic<int> jac_fd_check_flagged{0};
+  std::atomic<double> jac_fd_check_dev{0.0};
+  std::atomic<int> jac_mode{-1};
 
   // Per-dof normalization scales for the refinement indicator, measured from
   // the base-level nodal values (policy coefficients differ in magnitude
@@ -121,6 +128,20 @@ TimeIterationDriver::BuiltShock TimeIterationDriver::build_shock(int z,
                                      std::memory_order_relaxed);
             gathers.fetch_add(static_cast<std::uint64_t>(res.gathers),
                               std::memory_order_relaxed);
+            jac_refreshes_analytic.fetch_add(res.jacobian.analytic_refreshes,
+                                             std::memory_order_relaxed);
+            jac_refreshes_fd.fetch_add(res.jacobian.fd_refreshes, std::memory_order_relaxed);
+            jac_columns_analytic.fetch_add(res.jacobian.analytic_columns,
+                                           std::memory_order_relaxed);
+            jac_columns_fd.fetch_add(res.jacobian.fd_columns, std::memory_order_relaxed);
+            jac_fd_check_flagged.fetch_add(res.jacobian.fd_check_flagged_columns,
+                                           std::memory_order_relaxed);
+            jac_mode.store(static_cast<int>(res.jacobian.mode), std::memory_order_relaxed);
+            double dev = jac_fd_check_dev.load(std::memory_order_relaxed);
+            while (res.jacobian.fd_check_max_rel_dev > dev &&
+                   !jac_fd_check_dev.compare_exchange_weak(dev,
+                                                           res.jacobian.fd_check_max_rel_dev)) {
+            }
             std::copy(res.dofs.begin(), res.dofs.end(), dense.surplus_row(id));
 
             // Policy-change metric: normalized difference to p_next at the
@@ -177,6 +198,13 @@ TimeIterationDriver::BuiltShock TimeIterationDriver::build_shock(int z,
   built.solver_failures = failures.load();
   built.interpolations = interpolations.load();
   built.gathers = gathers.load();
+  built.jacobian.analytic_refreshes = jac_refreshes_analytic.load();
+  built.jacobian.fd_refreshes = jac_refreshes_fd.load();
+  built.jacobian.analytic_columns = jac_columns_analytic.load();
+  built.jacobian.fd_columns = jac_columns_fd.load();
+  built.jacobian.fd_check_flagged_columns = jac_fd_check_flagged.load();
+  built.jacobian.fd_check_max_rel_dev = jac_fd_check_dev.load();
+  if (jac_mode.load() >= 0) built.jacobian.mode = static_cast<solver::JacobianMode>(jac_mode.load());
   built.grid = std::make_unique<ShockGrid>(storage, nd,
                                            std::span<const double>(dense.surplus.data(),
                                                                    dense.surplus.size()),
@@ -210,6 +238,7 @@ std::shared_ptr<AsgPolicy> TimeIterationDriver::step(const PolicyEvaluator& p_ne
     stats.solver_failures += built.solver_failures;
     stats.interpolations += built.interpolations;
     stats.solver_gathers += built.gathers;
+    stats.record_jacobian(built.jacobian);
     total_points += built.grid->num_points();
     grids[static_cast<std::size_t>(z)] = std::move(built.grid);
   }
@@ -262,6 +291,9 @@ TimeIterationResult TimeIterationDriver::run() {
     util::log_info("time-iteration it=", it, " points=", stats.total_points,
                    " dlinf=", stats.policy_change_linf, " dl2=", stats.policy_change_l2,
                    " fails=", stats.solver_failures, " gathers=", stats.solver_gathers,
+                   " jac=", solver::to_string(stats.jacobian_mode),
+                   " acols=", stats.jacobian_columns_analytic,
+                   " fdcols=", stats.jacobian_columns_fd,
                    " offl=", stats.device_offloaded, " batches=", stats.device_batches,
                    " secs=", stats.seconds);
 

@@ -72,6 +72,19 @@ struct IterationStats {
   std::uint64_t solver_gathers = 0;    ///< gathers issued inside point solves
   std::uint64_t policy_gathers = 0;    ///< evaluate_gather calls p_next served
   std::uint64_t gathered_requests = 0; ///< interpolations those calls carried
+  std::uint64_t fastpath_gathers = 0;  ///< single-shock fast-path gathers p_next served
+  std::uint64_t gradient_gathers = 0;  ///< evaluate_gather_with_gradient calls served
+  // Jacobian-pipeline counters, aggregated from every point solve's
+  // PointSolveResult::jacobian (see solver::JacobianStats). `jacobian_mode`
+  // is the mode the step's solves ran under (uniform per run — the models
+  // fix it at construction).
+  solver::JacobianMode jacobian_mode = solver::JacobianMode::BatchedFd;
+  std::uint64_t jacobian_refreshes_analytic = 0;  ///< analytic Jacobian refreshes
+  std::uint64_t jacobian_refreshes_fd = 0;        ///< finite-difference refreshes
+  std::uint64_t jacobian_columns_analytic = 0;    ///< closed-form columns produced
+  std::uint64_t jacobian_columns_fd = 0;          ///< FD columns produced
+  std::uint64_t fd_check_flagged_columns = 0;     ///< FD-check columns beyond tolerance
+  double fd_check_max_rel_dev = 0.0;              ///< worst FD-check deviation seen
   // Offload-pipeline counters for this iteration (deltas of p_next's
   // dispatcher counters; zero when p_next has no device attached).
   std::uint64_t device_offloaded = 0;  ///< points served by the device
@@ -92,6 +105,20 @@ struct IterationStats {
   void record_gather_delta(const GatherStats& delta) {
     policy_gathers = delta.gathers;
     gathered_requests = delta.gathered_requests;
+    fastpath_gathers = delta.fastpath_gathers;
+    gradient_gathers = delta.gradient_gathers;
+  }
+  /// Accumulates one point solve's Jacobian-provider counters (called by
+  /// both drivers for every PointSolveResult).
+  void record_jacobian(const solver::JacobianStats& js) {
+    jacobian_mode = js.mode;
+    jacobian_refreshes_analytic += static_cast<std::uint64_t>(js.analytic_refreshes);
+    jacobian_refreshes_fd += static_cast<std::uint64_t>(js.fd_refreshes);
+    jacobian_columns_analytic += static_cast<std::uint64_t>(js.analytic_columns);
+    jacobian_columns_fd += static_cast<std::uint64_t>(js.fd_columns);
+    fd_check_flagged_columns += static_cast<std::uint64_t>(js.fd_check_flagged_columns);
+    if (js.fd_check_max_rel_dev > fd_check_max_rel_dev)
+      fd_check_max_rel_dev = js.fd_check_max_rel_dev;
   }
   /// Per-iteration reset: zero everything but the iteration index (called by
   /// the drivers at step entry so reused structs cannot accumulate).
@@ -140,6 +167,7 @@ class TimeIterationDriver {
     std::uint32_t solver_failures = 0;
     std::uint64_t interpolations = 0;
     std::uint64_t gathers = 0;
+    solver::JacobianStats jacobian;  ///< summed over the shock's point solves
   };
   BuiltShock build_shock(int z, const PolicyEvaluator& p_next, IterationStats& stats);
 

@@ -154,6 +154,132 @@ void IrbcModel::euler_residuals_batch(int z, std::span<const double> k,
   }
 }
 
+void IrbcModel::euler_jacobian(int z, std::span<const double> k, std::span<const double> k_next,
+                               const core::PolicyEvaluator& p_next, util::Matrix& jac,
+                               ResidualScratch& scratch, core::EvalCounters* counters) const {
+  const int N = cal_.countries;
+  const int Ns = num_shocks();
+  const auto sN = static_cast<std::size_t>(N);
+  if (k_next.size() < sN) throw std::invalid_argument("euler_jacobian: trial point too short");
+  const auto pi = chain_.row(static_cast<std::size_t>(z));
+  const double theta = cal_.theta;
+  const double phi = cal_.phi;
+
+  // Mirror the residual's guards: the floored trial copy, and the floor /
+  // unit-cube-clamp gates that zero a component's derivative exactly where a
+  // forward difference would see a constant.
+  scratch.k_next.assign(k_next.begin(), k_next.begin() + N);
+  scratch.gate.resize(sN);
+  scratch.chain_w.resize(sN);
+  scratch.x_unit.resize(sN);
+  scratch.pow_t1.resize(sN);
+  scratch.pow_t2.resize(sN);
+  const std::vector<double>& lo = domain_.lower();
+  const std::vector<double>& hi = domain_.upper();
+  for (std::size_t i = 0; i < sN; ++i) {
+    scratch.gate[i] = scratch.k_next[i] > kTrialCapitalFloor ? 1.0 : 0.0;
+    scratch.k_next[i] = std::max(scratch.k_next[i], kTrialCapitalFloor);
+    const double kc = scratch.k_next[i];
+    // Same arithmetic as BoxDomain::to_unit, but keeping the pre-clamp value
+    // so the clamp gate is exact: a clamped coordinate contributes no policy
+    // gradient (right-sided at the lower face, matching forward FD).
+    const double v = (kc - lo[i]) / (hi[i] - lo[i]);
+    scratch.x_unit[i] = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+    const double inside = (v >= 0.0 && v < 1.0) ? 1.0 : 0.0;
+    scratch.chain_w[i] = scratch.gate[i] * inside / (hi[i] - lo[i]);
+    scratch.pow_t1[i] = std::pow(kc, theta - 1.0);
+    scratch.pow_t2[i] = std::pow(kc, theta - 2.0);
+  }
+
+  // One gather-with-gradient for all successor shocks with mass — the
+  // analytic replacement for the FD sweep's N-column gather.
+  scratch.requests.clear();
+  for (int zp = 0; zp < Ns; ++zp)
+    if (pi[static_cast<std::size_t>(zp)] != 0.0)
+      scratch.requests.push_back({zp, 0});
+  scratch.gathered.resize(scratch.requests.size() * sN);
+  scratch.gathered_grad.resize(scratch.requests.size() * sN * sN);
+  p_next.evaluate_gather_with_gradient(scratch.requests, scratch.x_unit, 1, scratch.gathered,
+                                       sN, scratch.gathered_grad, sN * sN);
+  if (counters != nullptr) {
+    counters->interpolations += static_cast<int>(scratch.requests.size());
+    ++counters->gathers;
+  }
+
+  // Accumulate E_j = sum_zp pi mu(c') R_j and its partials dE_j/du_i.
+  scratch.e_acc.assign(sN, 0.0);
+  scratch.de_acc.assign(sN * sN, 0.0);
+  scratch.dc_next.resize(sN);
+  const std::span<const double> kc(scratch.k_next.data(), sN);
+  for (std::size_t slot = 0; slot < scratch.requests.size(); ++slot) {
+    const int zp = scratch.requests[slot].z;
+    const double prob = pi[static_cast<std::size_t>(zp)];
+    const double* dofs = scratch.gathered.data() + slot * sN;
+    const double* G = scratch.gathered_grad.data() + slot * sN * sN;  // G[m*N + t]
+
+    const double c_tomorrow = consumption(zp, kc, {dofs, sN});
+    const double mu_t = prefs_.marginal_utility(std::max(c_tomorrow, 1e-6));
+    const double dmu_t =
+        c_tomorrow > 1e-6 ? prefs_.marginal_utility_derivative(c_tomorrow) : 0.0;
+
+    // dc'/du_i: the direct capital terms plus every policy coefficient's
+    // chain-rule contribution dp_m/du_i = G[m][i] * chain_w[i].
+    for (std::size_t i = 0; i < sN; ++i) {
+      const double g_i = dofs[i] / scratch.k_next[i];
+      const double direct = productivity(zp, static_cast<int>(i)) * tfp_scale_ * theta *
+                                scratch.pow_t1[i] +
+                            (1.0 - cal_.delta) - 0.5 * phi * (g_i - 1.0) * (g_i - 1.0) +
+                            phi * (g_i - 1.0) * g_i;
+      double via_policy = 0.0;
+      for (std::size_t m = 0; m < sN; ++m) {
+        const double g_m = dofs[m] / scratch.k_next[m];
+        via_policy += -(1.0 + phi * (g_m - 1.0)) * G[m * sN + i];
+      }
+      scratch.dc_next[i] =
+          (scratch.gate[i] * direct + via_policy * scratch.chain_w[i]) / static_cast<double>(N);
+    }
+
+    for (std::size_t j = 0; j < sN; ++j) {
+      const double g_j = dofs[j] / scratch.k_next[j];
+      const double R_j = productivity(zp, static_cast<int>(j)) * tfp_scale_ * theta *
+                             scratch.pow_t1[j] +
+                         1.0 - cal_.delta + 0.5 * phi * (g_j * g_j - 1.0);
+      scratch.e_acc[j] += prob * mu_t * R_j;
+      for (std::size_t i = 0; i < sN; ++i) {
+        double dg = G[j * sN + i] * scratch.chain_w[i] / scratch.k_next[j];
+        double dR = phi * g_j * dg;
+        if (i == j) {
+          dR += scratch.gate[j] * (productivity(zp, static_cast<int>(j)) * tfp_scale_ * theta *
+                                       (theta - 1.0) * scratch.pow_t2[j] -
+                                   phi * g_j * g_j / scratch.k_next[j]);
+        }
+        scratch.de_acc[j * sN + i] += prob * (dmu_t * scratch.dc_next[i] * R_j + mu_t * dR);
+      }
+    }
+  }
+
+  // Today's side: marginal cost M_j = mu(c_0) (1 + phi (k'_j/k_j - 1)) and
+  // the quotient rule on r_j = 1 - beta E_j / M_j.
+  const double c_today = consumption(z, k, kc);
+  const double mu_0 = prefs_.marginal_utility(std::max(c_today, 1e-6));
+  const double dmu_0 = c_today > 1e-6 ? prefs_.marginal_utility_derivative(c_today) : 0.0;
+  scratch.dc_today.resize(sN);
+  for (std::size_t i = 0; i < sN; ++i)
+    scratch.dc_today[i] = scratch.gate[i] *
+                          (-1.0 - phi * (scratch.k_next[i] / k[i] - 1.0)) /
+                          static_cast<double>(N);
+  for (std::size_t j = 0; j < sN; ++j) {
+    const double adj_j = 1.0 + phi * (scratch.k_next[j] / k[j] - 1.0);
+    const double M_j = mu_0 * adj_j;
+    for (std::size_t i = 0; i < sN; ++i) {
+      double dM = dmu_0 * scratch.dc_today[i] * adj_j;
+      if (i == j) dM += mu_0 * phi * scratch.gate[j] / k[j];
+      jac(j, i) = -cal_.beta * (scratch.de_acc[j * sN + i] * M_j - scratch.e_acc[j] * dM) /
+                  (M_j * M_j);
+    }
+  }
+}
+
 std::vector<double> IrbcModel::initial_policy(int z, std::span<const double> x_unit) const {
   (void)z;
   // k' = k: the identity policy is the steady-state fixed point and an
@@ -185,15 +311,26 @@ core::PointSolveResult IrbcModel::solve_point(int z, std::span<const double> x_u
   newton.max_iterations = 80;
   newton.tolerance = 1e-10;
   newton.fd_epsilon = 1e-7;
+  newton.jacobian_mode = cal_.jacobian_mode;
+  newton.fd_check_tolerance = cal_.fd_check_tolerance;
   // Keep iterates in a generous positive region (adjustment costs blow up
   // long before these bind in practice).
   newton.lower.assign(static_cast<std::size_t>(N), 0.2);
   newton.upper.assign(static_cast<std::size_t>(N), 3.0);
 
-  const std::vector<double> guess(warm_start.begin(), warm_start.begin() + N);
-  const solver::NewtonResult nres =
-      solve_newton(residual, guess, newton, nullptr, &residual_batch);
+  // Closed-form columns via euler_jacobian; the provider dispatches between
+  // this, the batched-FD sweep, and the FD-check hybrid per jacobian_mode.
+  const solver::JacobianFn analytic = [this, z, &k, &p_next, &counters, &scratch](
+                                          std::span<const double> u, util::Matrix& jac) {
+    euler_jacobian(z, k, u, p_next, jac, scratch, &counters);
+  };
+  const std::unique_ptr<solver::JacobianProvider> provider =
+      solver::make_jacobian_provider(newton, residual, &residual_batch, &analytic);
 
+  const std::vector<double> guess(warm_start.begin(), warm_start.begin() + N);
+  const solver::NewtonResult nres = solve_newton(residual, guess, newton, *provider);
+
+  result.jacobian = provider->stats();
   result.converged = nres.converged();
   result.solver_iterations = nres.iterations;
   result.residual_norm = nres.residual_norm;

@@ -48,6 +48,15 @@ struct IrbcCalibration {
   /// Capital box half-width around the steady state (Brumm-Scheidegger use
   /// +/- 20%).
   double box_half_width = 0.2;
+  /// How solve_point's Newton refreshes the Euler-system Jacobian: analytic
+  /// closed-form columns (default — one gather-with-gradient per refresh
+  /// instead of an N-column FD sweep), the batched-FD sweep, or the FD-check
+  /// hybrid that audits the analytic columns against FD every refresh.
+  /// HDDM_JACOBIAN_MODE overrides the default at model construction.
+  solver::JacobianMode jacobian_mode = solver::jacobian_mode_from_env(solver::JacobianMode::Analytic);
+  /// Column-scaled deviation beyond which FD-check mode flags a column (see
+  /// solver::NewtonOptions::fd_check_tolerance).
+  double fd_check_tolerance = 1e-3;
 };
 
 class IrbcModel final : public core::DynamicModel {
@@ -92,6 +101,18 @@ class IrbcModel final : public core::DynamicModel {
     std::vector<core::GatherRequest> requests;
     std::vector<double> gathered;            ///< one N-row per request
     std::vector<double> expected;            ///< ncols rows of N
+    // Analytic-Jacobian workspace (euler_jacobian only): policy gradients,
+    // floor/clamp gates, precomputed capital powers and the E / dE / dc
+    // accumulators of the derivation in DESIGN.md, "Jacobian pipeline".
+    std::vector<double> gathered_grad;       ///< one N x N gradient block per request
+    std::vector<double> gate;                ///< trial-capital floor gates (0/1)
+    std::vector<double> chain_w;             ///< d x_unit / d u (0 where clamped)
+    std::vector<double> pow_t1;              ///< kc^(theta-1)
+    std::vector<double> pow_t2;              ///< kc^(theta-2)
+    std::vector<double> dc_next;             ///< dc'/du per country (per shock)
+    std::vector<double> e_acc;               ///< E_j accumulator
+    std::vector<double> de_acc;              ///< dE_j/du_i accumulator (N x N)
+    std::vector<double> dc_today;            ///< dc_0/du per country
   };
 
   /// Unit-free Euler residuals (size N); exposed for tests. Trial iterates
@@ -115,6 +136,20 @@ class IrbcModel final : public core::DynamicModel {
                              const core::PolicyEvaluator& p_next, std::span<double> out_block,
                              ResidualScratch& scratch,
                              core::EvalCounters* counters = nullptr) const;
+
+  /// Closed-form Jacobian d r_j / d k'_i of the unit-free Euler residuals at
+  /// the trial point `k_next` (one column of the batch layout; `jac` is
+  /// N x N). Differentiates every term euler_residuals_batch evaluates —
+  /// gross returns, adjustment costs, equalized consumption today and
+  /// tomorrow, and the interpolated policy via ONE
+  /// p_next.evaluate_gather_with_gradient — replicating the residual's guard
+  /// semantics exactly: components at the trial-capital floor and unit-cube
+  /// clamps contribute zero derivative, consumption clamped at its 1e-6
+  /// floor kills the marginal-utility derivative. Full derivation in
+  /// DESIGN.md, "Jacobian pipeline".
+  void euler_jacobian(int z, std::span<const double> k, std::span<const double> k_next,
+                      const core::PolicyEvaluator& p_next, util::Matrix& jac,
+                      ResidualScratch& scratch, core::EvalCounters* counters = nullptr) const;
 
  private:
   IrbcCalibration cal_;

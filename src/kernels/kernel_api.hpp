@@ -52,6 +52,20 @@ class InterpolationKernel {
   virtual void evaluate_batch(const double* x, double* value, std::size_t npoints) const;
 };
 
+/// Compressed-format value + gradient walk (scalar): value[0..ndofs) = u(x)
+/// and grad[dof * dim + t] = d u_dof / d x_t (row-major, one dim-row per
+/// dof). Walks the same xpv chains as the x86 kernel with one extra
+/// derivative table and per-chain prefix/suffix products, so a refresh costs
+/// a small constant times one x86 evaluation instead of dim+1 of them.
+/// Values are bit-identical to the x86 kernel's evaluate() (same factors,
+/// same multiplication and accumulation order); the gradient is the exact
+/// a.e. derivative of the piecewise-multilinear interpolant with
+/// sg::hat_derivative's kink convention. This is the walk behind
+/// core::ShockGrid::evaluate_with_gradient and therefore the analytic Euler
+/// Jacobians (see DESIGN.md, "Jacobian pipeline").
+void evaluate_with_gradient(const core::CompressedGridData& grid, const double* x,
+                            double* value, double* grad);
+
 /// True when the host CPU can execute the given kernel (CPUID check for the
 /// vector ISAs; gold/x86/simgpu always run).
 bool kernel_supported(KernelKind kind);

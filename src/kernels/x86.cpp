@@ -21,6 +21,67 @@ void compute_xpv(const core::CompressedGridData& grid, const double* x, double* 
   }
 }
 
+void evaluate_with_gradient_impl(const core::CompressedGridData& grid, const double* x,
+                                 double* value, double* grad) {
+  const int nd = grid.ndofs;
+  const int nfreq = grid.nfreq;
+  const auto d = static_cast<std::size_t>(grid.dim);
+
+  // xpv as in the x86 kernel, plus the matching derivative table. xpd is
+  // zero wherever xpv is zero (hat_derivative's support-edge convention), so
+  // the zero-factor early exit below drops value AND gradient exactly.
+  thread_local std::vector<double> xpv, xpd, pre;
+  xpv.resize(grid.xps.size());
+  xpd.resize(grid.xps.size());
+  pre.resize(static_cast<std::size_t>(nfreq));
+  compute_xpv(grid, x, xpv.data());
+  xpd[0] = 0.0;
+  for (std::size_t k = 1; k < grid.xps.size(); ++k) {
+    const core::XpsEntry& e = grid.xps[k];
+    xpd[k] = sg::hat_derivative({e.l, e.i}, x[e.j]);
+  }
+
+  std::fill(value, value + nd, 0.0);
+  std::fill(grad, grad + static_cast<std::size_t>(nd) * d, 0.0);
+
+  const std::uint32_t* chain = grid.chains.data();
+  for (std::uint32_t p = 0; p < grid.nno; ++p, chain += nfreq) {
+    // Forward chain walk — identical to X86Kernel::evaluate, with prefix
+    // products saved for the gradient pass.
+    double temp = 1.0;
+    int len = 0;
+    bool dead = false;
+    for (int f = 0; f < nfreq; ++f) {
+      const std::uint32_t idx = chain[f];
+      if (!idx) break;
+      pre[static_cast<std::size_t>(f)] = temp;
+      temp *= xpv[idx];
+      if (temp == 0.0) {
+        dead = true;
+        break;
+      }
+      ++len;
+    }
+    if (dead) continue;
+    const double* srow = grid.surplus_row(p);
+    for (int dof = 0; dof < nd; ++dof) value[dof] += temp * srow[dof];
+
+    // Backward pass: dtemp_f = (prod of the other factors) * dphi_f, routed
+    // to the factor's dimension. Chains carry only non-root factors, so
+    // level-1 dimensions correctly keep zero gradient.
+    double suf = 1.0;
+    for (int f = len - 1; f >= 0; --f) {
+      const std::uint32_t idx = chain[f];
+      const double dtemp = pre[static_cast<std::size_t>(f)] * suf * xpd[idx];
+      suf *= xpv[idx];
+      if (dtemp == 0.0) continue;
+      const std::size_t j = grid.xps[idx].j;
+      for (int dof = 0; dof < nd; ++dof)
+        grad[static_cast<std::size_t>(dof) * d + j] += dtemp * srow[dof];
+    }
+  }
+}
+
 namespace {
 
 class X86Kernel final : public InterpolationKernel {
@@ -66,3 +127,12 @@ std::unique_ptr<InterpolationKernel> make_x86_kernel(const core::CompressedGridD
 }
 
 }  // namespace hddm::kernels::detail
+
+namespace hddm::kernels {
+
+void evaluate_with_gradient(const core::CompressedGridData& grid, const double* x, double* value,
+                            double* grad) {
+  detail::evaluate_with_gradient_impl(grid, x, value, grad);
+}
+
+}  // namespace hddm::kernels

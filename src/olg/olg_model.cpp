@@ -261,6 +261,117 @@ void OlgModel::euler_residuals_batch(int z, const DecodedState& s,
   }
 }
 
+void OlgModel::euler_jacobian(int z, const DecodedState& s, std::span<const double> savings,
+                              const core::PolicyEvaluator& p_next, util::Matrix& jac,
+                              ResidualScratch& scratch, core::EvalCounters* counters) const {
+  const int A = econ_.ages();
+  const int d = A - 1;
+  const int Ns = num_shocks();
+  const auto sd = static_cast<std::size_t>(d);
+  const auto nd = static_cast<std::size_t>(ndofs());
+  if (savings.size() < sd) throw std::invalid_argument("euler_jacobian: savings too short");
+  (void)s;  // today's state only enters through constants (prices, wealth)
+
+  // Tomorrow's aggregate state and the guard gates that zero derivatives
+  // exactly where the residual is locally constant: the capital floor on
+  // K' = sum_a u_a (every u_i moves K' when unfloored) and the unit-cube
+  // clamps of the interpolation coordinates.
+  double ksum = 0.0;
+  for (std::size_t a = 0; a < sd; ++a) ksum += savings[a];
+  const double gate_k = ksum > capital_floor_ ? 1.0 : 0.0;
+  const double k_next = std::max(ksum, capital_floor_);
+
+  scratch.x_unit.resize(sd);
+  scratch.chain_w.resize(sd);
+  const std::vector<double>& lo = domain_.lower();
+  const std::vector<double>& hi = domain_.upper();
+  for (std::size_t t = 0; t < sd; ++t) {
+    const double xt = t == 0 ? k_next : savings[t - 1];
+    const double v = (xt - lo[t]) / (hi[t] - lo[t]);
+    scratch.x_unit[t] = v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v);
+    const double inside = (v >= 0.0 && v < 1.0) ? 1.0 : 0.0;
+    scratch.chain_w[t] = inside / (hi[t] - lo[t]);
+  }
+
+  // One gather-with-gradient for all successor shocks with mass.
+  const auto pi = econ_.chain.row(static_cast<std::size_t>(z));
+  scratch.requests.clear();
+  for (int zp = 0; zp < Ns; ++zp)
+    if (pi[static_cast<std::size_t>(zp)] > 0.0) scratch.requests.push_back({zp, 0});
+  scratch.gathered.resize(scratch.requests.size() * nd);
+  scratch.gathered_grad.resize(scratch.requests.size() * nd * sd);
+  p_next.evaluate_gather_with_gradient(scratch.requests, scratch.x_unit, 1, scratch.gathered,
+                                       nd, scratch.gathered_grad, nd * sd);
+  if (counters != nullptr) {
+    counters->interpolations += static_cast<int>(scratch.requests.size());
+    ++counters->gathers;
+  }
+
+  // Accumulate emu_a = sum_zp pi R' u'(c'_{a+1}) and its partials. All
+  // price/pension movement runs through K' (price_gradients), savings enter
+  // c' directly (R' u_a) and through the interpolated asset demands.
+  scratch.e_acc.assign(sd, 0.0);
+  scratch.de_acc.assign(sd * sd, 0.0);
+  for (std::size_t slot = 0; slot < scratch.requests.size(); ++slot) {
+    const int zp = scratch.requests[slot].z;
+    const double prob = pi[static_cast<std::size_t>(zp)];
+    const ShockState& shock = econ_.shocks[static_cast<std::size_t>(zp)];
+    const SuccessorPrices sp = successor_prices(zp, k_next);
+    const CobbDouglasTechnology::FactorPriceGradients pg =
+        tech_.price_gradients(sp.prices, k_next, shock.delta);
+    const double rp = 1.0 + sp.prices.rate * (1.0 - shock.tau_capital);
+    const double drp_dk = (1.0 - shock.tau_capital) * pg.drate_dk;
+    const double dpen_dk = econ_.retirees() > 0
+                               ? shock.tau_labor * econ_.total_labor * pg.dwage_dk /
+                                     static_cast<double>(econ_.retirees())
+                               : 0.0;
+    const double* dofs = scratch.gathered.data() + slot * nd;
+    const double* grad = scratch.gathered_grad.data() + slot * nd * sd;  // grad[m*d + t]
+
+    for (int a = 1; a <= d; ++a) {
+      const int ap = a + 1;  // age tomorrow
+      const double labor_inc = (1.0 - shock.tau_labor) * sp.prices.wage *
+                               econ_.efficiency[static_cast<std::size_t>(ap - 1)];
+      const double retired = econ_.is_retired(ap) ? 1.0 : 0.0;
+      const double k_tomorrow = (ap <= d) ? dofs[ap - 1] : 0.0;
+      const double c_tomorrow = rp * savings[static_cast<std::size_t>(a - 1)] + labor_inc +
+                                retired * sp.pension - k_tomorrow;
+      const double mu = prefs_.marginal_utility(c_tomorrow);
+      const double dmu = prefs_.marginal_utility_derivative(c_tomorrow);
+      scratch.e_acc[static_cast<std::size_t>(a - 1)] += prob * rp * mu;
+
+      // Income movement through K' is identical for every u_i (dK'/du_i =
+      // gate_k); the policy term adds G[ap-1][0] through K' plus the direct
+      // coordinate G[ap-1][i+1] for i <= d-2.
+      const double dinc_dk = gate_k * (drp_dk * savings[static_cast<std::size_t>(a - 1)] +
+                                       (1.0 - shock.tau_labor) * pg.dwage_dk *
+                                           econ_.efficiency[static_cast<std::size_t>(ap - 1)] +
+                                       retired * dpen_dk);
+      const double* grow = (ap <= d) ? grad + static_cast<std::size_t>(ap - 1) * sd : nullptr;
+      const double dkhat_common = grow != nullptr ? grow[0] * scratch.chain_w[0] * gate_k : 0.0;
+      double* de_row = scratch.de_acc.data() + static_cast<std::size_t>(a - 1) * sd;
+      for (std::size_t i = 0; i < sd; ++i) {
+        double dkhat = dkhat_common;
+        if (grow != nullptr && i + 1 < sd) dkhat += grow[i + 1] * scratch.chain_w[i + 1];
+        const double dc = dinc_dk + (i == static_cast<std::size_t>(a - 1) ? rp : 0.0) - dkhat;
+        de_row[i] += prob * (gate_k * drp_dk * mu + rp * dmu * dc);
+      }
+    }
+  }
+
+  // r_a = c_a - (u')^{-1}(beta emu_a): today's consumption contributes the
+  // -1 on the diagonal, the inverse-marginal chain rule the rest.
+  for (int a = 1; a <= d; ++a) {
+    const double dinv =
+        econ_.beta *
+        prefs_.inverse_marginal_derivative(econ_.beta * scratch.e_acc[static_cast<std::size_t>(a - 1)]);
+    for (std::size_t i = 0; i < sd; ++i)
+      jac(static_cast<std::size_t>(a - 1), i) =
+          (i == static_cast<std::size_t>(a - 1) ? -1.0 : 0.0) -
+          dinv * scratch.de_acc[static_cast<std::size_t>(a - 1) * sd + i];
+  }
+}
+
 std::vector<double> OlgModel::value_coefficients(int z, const DecodedState& s,
                                                  std::span<const double> savings,
                                                  const core::PolicyEvaluator& p_next) const {
@@ -407,11 +518,19 @@ core::PointSolveResult OlgModel::solve_point(int z, std::span<const double> x_un
   newton.lower = bounds.lower;
   newton.upper = bounds.upper;
 
+  // Closed-form per-cohort columns via euler_jacobian; the provider
+  // dispatches between analytic, batched-FD, and FD-check per the options.
+  const solver::JacobianFn analytic = [this, z, &s, &p_next, &counters, &scratch](
+                                          std::span<const double> u, util::Matrix& jac) {
+    euler_jacobian(z, s, u, p_next, jac, scratch, &counters);
+  };
+  const std::unique_ptr<solver::JacobianProvider> provider =
+      solver::make_jacobian_provider(newton, residual, &residual_batch, &analytic);
+
   // Warm start: previous iteration's asset demands at this point (the solver
   // clips them into the feasibility box).
   const std::vector<double> guess(warm_start.begin(), warm_start.begin() + d);
-  const solver::NewtonResult nres =
-      solve_newton(residual, guess, newton, nullptr, &residual_batch);
+  const solver::NewtonResult nres = solve_newton(residual, guess, newton, *provider);
 
   // At box corners the equilibrium is constrained: accept KKT-consistent
   // solutions whose projected residual is small even when the raw Euler
@@ -421,6 +540,7 @@ core::PointSolveResult OlgModel::solve_point(int z, std::span<const double> x_un
   result.converged = nres.converged() || projected < 1e-6;
   result.solver_iterations = nres.iterations;
   result.residual_norm = std::min(nres.residual_norm, projected);
+  result.jacobian = provider->stats();
 
   result.dofs.resize(static_cast<std::size_t>(ndofs()));
   std::copy(nres.solution.begin(), nres.solution.end(), result.dofs.begin());

@@ -49,6 +49,10 @@ struct OlgModelOptions {
     newton.max_iterations = 80;
     newton.tolerance = 1e-8;
     newton.fd_epsilon = 1e-6;
+    // Analytic per-cohort Euler Jacobians by default (euler_jacobian);
+    // HDDM_JACOBIAN_MODE switches to the batched-FD sweep or the FD-check
+    // audit without recompiling.
+    newton.jacobian_mode = solver::jacobian_mode_from_env(solver::JacobianMode::Analytic);
   }
 };
 
@@ -112,6 +116,13 @@ class OlgModel final : public core::DynamicModel {
     std::vector<FactorPrices> prices;         ///< shocks x ncols (slot-major)
     std::vector<double> pension;              ///< shocks x ncols (slot-major)
     std::vector<double> c_today;              ///< A ages, per column
+    // Analytic-Jacobian workspace (euler_jacobian only): policy gradients,
+    // unit-cube chain weights, and the emu / demu accumulators of the
+    // derivation in DESIGN.md, "Jacobian pipeline".
+    std::vector<double> gathered_grad;        ///< one ndofs x d block per request
+    std::vector<double> chain_w;              ///< d x_unit / d x_next (0 where clamped)
+    std::vector<double> e_acc;                ///< emu_a accumulator (d)
+    std::vector<double> de_acc;               ///< d emu_a / d u_i accumulator (d x d)
   };
 
   /// Batched Euler residuals over `ncols` savings columns (rows of d in
@@ -124,6 +135,20 @@ class OlgModel final : public core::DynamicModel {
                              std::size_t ncols, const core::PolicyEvaluator& p_next,
                              std::span<double> out_block, ResidualScratch& scratch,
                              core::EvalCounters* counters = nullptr) const;
+
+  /// Closed-form Jacobian d r_a / d u_i of the consumption-unit Euler
+  /// residuals at the savings choices `savings` (`jac` is d x d, d = A-1).
+  /// Differentiates every channel euler_residuals_batch evaluates: the
+  /// direct -u_a in today's consumption, tomorrow's factor prices and
+  /// pension through K' = sum_a u_a (CobbDouglasTechnology::price_gradients),
+  /// the gross return R', and the interpolated next-period asset demands via
+  /// ONE p_next.evaluate_gather_with_gradient — replicating the residual's
+  /// guard semantics (capital floor on K', unit-cube clamps) with zero
+  /// derivatives where the residual is locally constant. Full derivation in
+  /// DESIGN.md, "Jacobian pipeline".
+  void euler_jacobian(int z, const DecodedState& s, std::span<const double> savings,
+                      const core::PolicyEvaluator& p_next, util::Matrix& jac,
+                      ResidualScratch& scratch, core::EvalCounters* counters = nullptr) const;
 
   /// Value-function coefficients v_1..v_{A-1} implied by converged savings.
   [[nodiscard]] std::vector<double> value_coefficients(int z, const DecodedState& s,

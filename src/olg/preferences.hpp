@@ -49,6 +49,23 @@ class CrraPreferences {
     return std::pow(m, -1.0 / gamma_);
   }
 
+  /// d/dc of marginal_utility: u''(c) = -gamma c^(-gamma-1) above the floor,
+  /// the extension's constant slope -mu_slope below it (the extension is
+  /// linear in c, so this is exact, and C^0 across the floor by
+  /// construction). Used by the analytic Euler Jacobians.
+  [[nodiscard]] double marginal_utility_derivative(double c) const {
+    if (c >= c_min_) return -gamma_ * std::pow(c, -gamma_ - 1.0);
+    return -mu_slope_;
+  }
+
+  /// d/dm of inverse_marginal: (-1/gamma) m^(-1/gamma - 1). Like
+  /// inverse_marginal itself this is the interior branch — callers feed it
+  /// beta * E[...] terms, which are strictly positive.
+  [[nodiscard]] double inverse_marginal_derivative(double m) const {
+    if (m <= 0.0) throw std::invalid_argument("inverse_marginal_derivative: m must be positive");
+    return (-1.0 / gamma_) * std::pow(m, -1.0 / gamma_ - 1.0);
+  }
+
   // --- value-function storage support ------------------------------------
   //
   // Value functions approximated on sparse grids must stay bounded over the

@@ -38,6 +38,31 @@ class CobbDouglasTechnology {
     return p;
   }
 
+  /// Derivatives of the factor prices w.r.t. the capital stock, computed
+  /// from already-evaluated prices (no extra pow):
+  ///   dw/dK = theta * w / K,
+  ///   dr/dK = (theta - 1) * (r + delta) / K  (r excludes depreciation's
+  ///   derivative because delta does not vary with K).
+  /// Used by the OLG analytic Euler Jacobian, where tomorrow's prices move
+  /// with aggregate savings K' = sum_a k'_a.
+  struct FactorPriceGradients {
+    double dwage_dk = 0.0;  ///< d wage / d capital
+    double drate_dk = 0.0;  ///< d rate / d capital
+  };
+
+  /// Gradients at the point where `p` was computed; `delta` must be the
+  /// depreciation rate used for `p` (it re-adds into the gross marginal
+  /// product). `capital` must be positive, as in prices().
+  [[nodiscard]] FactorPriceGradients price_gradients(const FactorPrices& p, double capital,
+                                                     double delta) const {
+    if (capital <= 0.0)
+      throw std::invalid_argument("CobbDouglasTechnology: capital must be positive");
+    FactorPriceGradients g;
+    g.dwage_dk = theta_ * p.wage / capital;
+    g.drate_dk = (theta_ - 1.0) * (p.rate + delta) / capital;
+    return g;
+  }
+
   /// Capital stock at which the deterministic economy with discount beta and
   /// depreciation delta is in steady state under log-utility intuition:
   /// solves theta * eta * (K/L)^(theta-1) - delta = 1/beta - 1.

@@ -4,9 +4,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/env.hpp"
 #include "util/stats.hpp"
 
 namespace hddm::solver {
+
+std::string to_string(JacobianMode mode) {
+  switch (mode) {
+    case JacobianMode::BatchedFd: return "batched-fd";
+    case JacobianMode::Analytic: return "analytic";
+    case JacobianMode::FdCheck: return "fd-check";
+  }
+  return "unknown";
+}
+
+JacobianMode jacobian_mode_from_env(JacobianMode fallback) {
+  const std::string v = util::env_string("HDDM_JACOBIAN_MODE", "");
+  if (v == "fd" || v == "batched-fd") return JacobianMode::BatchedFd;
+  if (v == "analytic") return JacobianMode::Analytic;
+  if (v == "fd-check" || v == "check") return JacobianMode::FdCheck;
+  return fallback;
+}
 
 std::string to_string(NewtonStatus status) {
   switch (status) {
@@ -67,6 +85,127 @@ void finite_difference_jacobian(const BatchResidualFn& residual_batch, std::span
 
 namespace {
 
+// Finite-difference refresh shared by the BatchedFd and FdCheck providers:
+// batched sweep when a batch callback exists, scalar column loop otherwise.
+void fd_refresh(const ResidualFn& residual, const BatchResidualFn* residual_batch,
+                std::span<const double> u, std::span<const double> f_of_u, double epsilon,
+                util::Matrix& jac, int* eval_count) {
+  if (residual_batch != nullptr)
+    finite_difference_jacobian(*residual_batch, u, f_of_u, epsilon, jac, eval_count);
+  else
+    finite_difference_jacobian(residual, u, f_of_u, epsilon, jac, eval_count);
+}
+
+class BatchedFdProvider final : public JacobianProvider {
+ public:
+  BatchedFdProvider(const NewtonOptions& options, const ResidualFn& residual,
+                    const BatchResidualFn* residual_batch)
+      : residual_(residual), residual_batch_(residual_batch), epsilon_(options.fd_epsilon) {
+    stats_.mode = JacobianMode::BatchedFd;
+  }
+
+  void refresh(std::span<const double> u, std::span<const double> f_of_u, util::Matrix& jac,
+               int* eval_count) override {
+    fd_refresh(residual_, residual_batch_, u, f_of_u, epsilon_, jac, eval_count);
+    ++stats_.fd_refreshes;
+    stats_.fd_columns += static_cast<int>(u.size());
+  }
+
+ private:
+  const ResidualFn& residual_;
+  const BatchResidualFn* residual_batch_;
+  double epsilon_;
+};
+
+class AnalyticProvider final : public JacobianProvider {
+ public:
+  explicit AnalyticProvider(const JacobianFn& analytic) : analytic_(analytic) {
+    stats_.mode = JacobianMode::Analytic;
+  }
+
+  void refresh(std::span<const double> u, std::span<const double> /*f_of_u*/, util::Matrix& jac,
+               int* /*eval_count*/) override {
+    analytic_(u, jac);
+    ++stats_.analytic_refreshes;
+    stats_.analytic_columns += static_cast<int>(u.size());
+  }
+
+ private:
+  const JacobianFn& analytic_;
+};
+
+// Steps with the analytic Jacobian (trajectories identical to Analytic mode)
+// while auditing every refresh against a batched-FD sweep: deviations are
+// recorded column-scaled, so a wrong derivative surfaces as flagged columns
+// without perturbing the solve.
+class FdCheckProvider final : public JacobianProvider {
+ public:
+  FdCheckProvider(const NewtonOptions& options, const ResidualFn& residual,
+                  const BatchResidualFn* residual_batch, const JacobianFn& analytic)
+      : residual_(residual),
+        residual_batch_(residual_batch),
+        analytic_(analytic),
+        epsilon_(options.fd_epsilon),
+        tolerance_(options.fd_check_tolerance) {
+    stats_.mode = JacobianMode::FdCheck;
+  }
+
+  void refresh(std::span<const double> u, std::span<const double> f_of_u, util::Matrix& jac,
+               int* eval_count) override {
+    const std::size_t n = u.size();
+    analytic_(u, jac);
+    ++stats_.analytic_refreshes;
+    stats_.analytic_columns += static_cast<int>(n);
+
+    if (fd_jac_.rows() != n) fd_jac_ = util::Matrix(n, n);
+    fd_refresh(residual_, residual_batch_, u, f_of_u, epsilon_, fd_jac_, eval_count);
+    ++stats_.fd_refreshes;
+    stats_.fd_columns += static_cast<int>(n);
+
+    for (std::size_t c = 0; c < n; ++c) {
+      double dev = 0.0, scale = 0.0;
+      for (std::size_t r = 0; r < n; ++r) {
+        dev = std::max(dev, std::fabs(jac(r, c) - fd_jac_(r, c)));
+        scale = std::max(scale, std::fabs(fd_jac_(r, c)));
+      }
+      const double rel = dev / (1.0 + scale);
+      stats_.fd_check_max_rel_dev = std::max(stats_.fd_check_max_rel_dev, rel);
+      if (rel > tolerance_) ++stats_.fd_check_flagged_columns;
+    }
+  }
+
+ private:
+  const ResidualFn& residual_;
+  const BatchResidualFn* residual_batch_;
+  const JacobianFn& analytic_;
+  double epsilon_;
+  double tolerance_;
+  util::Matrix fd_jac_;
+};
+
+}  // namespace
+
+std::unique_ptr<JacobianProvider> make_jacobian_provider(const NewtonOptions& options,
+                                                         const ResidualFn& residual,
+                                                         const BatchResidualFn* residual_batch,
+                                                         const JacobianFn* analytic) {
+  switch (options.jacobian_mode) {
+    case JacobianMode::BatchedFd:
+      return std::make_unique<BatchedFdProvider>(options, residual, residual_batch);
+    case JacobianMode::Analytic:
+      if (analytic == nullptr)
+        throw std::invalid_argument("make_jacobian_provider: Analytic mode needs a JacobianFn");
+      return std::make_unique<AnalyticProvider>(*analytic);
+    case JacobianMode::FdCheck:
+      if (analytic == nullptr)
+        throw std::invalid_argument("make_jacobian_provider: FdCheck mode needs a JacobianFn");
+      return std::make_unique<FdCheckProvider>(options, residual, residual_batch, *analytic);
+  }
+  throw std::invalid_argument("make_jacobian_provider: unknown JacobianMode");
+}
+
+namespace {
+
 void clip_to_box(std::vector<double>& u, const NewtonOptions& options) {
   if (!options.lower.empty())
     for (std::size_t t = 0; t < u.size(); ++t) u[t] = std::max(u[t], options.lower[t]);
@@ -111,6 +250,19 @@ double inf_norm_free(std::span<const double> f, const std::vector<bool>& active)
 NewtonResult solve_newton(const ResidualFn& residual, std::span<const double> initial,
                           const NewtonOptions& options, const JacobianFn* jacobian,
                           const BatchResidualFn* residual_batch) {
+  // Strategy inferred from the callbacks (the pre-provider contract):
+  // analytic when a JacobianFn is given, batched/scalar FD otherwise —
+  // identical arithmetic to the provider modes, so this is a pure forward.
+  NewtonOptions opts = options;
+  opts.jacobian_mode =
+      jacobian != nullptr ? JacobianMode::Analytic : JacobianMode::BatchedFd;
+  const std::unique_ptr<JacobianProvider> provider =
+      make_jacobian_provider(opts, residual, residual_batch, jacobian);
+  return solve_newton(residual, initial, options, *provider);
+}
+
+NewtonResult solve_newton(const ResidualFn& residual, std::span<const double> initial,
+                          const NewtonOptions& options, JacobianProvider& provider) {
   const std::size_t n = initial.size();
   if (n == 0) throw std::invalid_argument("solve_newton: empty system");
   if (!options.lower.empty() && options.lower.size() != n)
@@ -154,15 +306,7 @@ NewtonResult solve_newton(const ResidualFn& residual, std::span<const double> in
     const bool refresh =
         !options.use_broyden || !lu.has_value() || iters_since_factorization >= options.broyden_refresh;
     if (refresh) {
-      if (jacobian != nullptr) {
-        (*jacobian)(u, jac);
-      } else if (residual_batch != nullptr) {
-        finite_difference_jacobian(*residual_batch, u, f, options.fd_epsilon, jac,
-                                   &result.residual_evaluations);
-      } else {
-        finite_difference_jacobian(residual, u, f, options.fd_epsilon, jac,
-                                   &result.residual_evaluations);
-      }
+      provider.refresh(u, f, jac, &result.residual_evaluations);
       try {
         lu.emplace(jac);
       } catch (const util::SingularMatrixError&) {

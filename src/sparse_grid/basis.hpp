@@ -52,6 +52,28 @@ inline double hat_value(LevelIndex li, double x) {
   return v > 0.0 ? v : 0.0;
 }
 
+/// Derivative of the hat function w.r.t. x: 0 for the constant level-1
+/// basis and outside the support, otherwise +/- 2^(l-1) by side. Hat
+/// functions are piecewise linear, so this is the exact derivative almost
+/// everywhere; on the null set of kinks the convention is the subgradient
+/// midpoint — 0 at the center (the average of the +/-2^(l-1) one-sided
+/// slopes) and 0 where the hat itself vanishes. The midpoint matters:
+/// warm-started equilibrium solves evaluate their first Jacobian exactly AT
+/// a grid point, i.e. on the kink of every dimension at once, and a one-
+/// sided convention there breaks the mirror symmetry of symmetric models.
+/// Off the null set the value is exact; finite differences straddling a
+/// kink differ by a documented tolerance instead — see DESIGN.md, "Jacobian
+/// pipeline".
+inline double hat_derivative(LevelIndex li, double x) {
+  if (li.l == 1) return 0.0;
+  const double center = point_coordinate(li);
+  if (x == center) return 0.0;  // subgradient midpoint at the kink
+  const double scale = std::ldexp(1.0, static_cast<int>(li.l) - 1);
+  const double dist = x > center ? x - center : center - x;
+  if (1.0 - scale * dist <= 0.0) return 0.0;  // outside (or on the edge of) support
+  return x > center ? -scale : scale;
+}
+
 /// True when (l, i) is a valid pair of the hierarchical index sets (Eq. 7).
 inline bool is_valid_pair(LevelIndex li) {
   if (li.l == 1) return li.i == 1;

@@ -28,4 +28,15 @@ void reference_interpolate(const DenseGridData& grid, std::span<const double> x,
 void reference_interpolate_below(const DenseGridData& grid, int level_sum_bound,
                                  std::span<const double> x, std::span<double> value);
 
+/// Joint value + gradient evaluation on the dense format: value[0..ndofs) =
+/// u(x) and grad[dof * dim + t] = d u_dof / d x_t (row-major, one dim-row
+/// per dof). One pass over the points computes the tensor-product basis
+/// value and all dim one-factor-substituted products, so the cost is
+/// ~(dim+1) x a plain evaluation rather than dim+1 separate walks. Values
+/// are bit-identical to reference_interpolate (same points, same order, same
+/// arithmetic); the gradient is the exact a.e. derivative of the piecewise-
+/// multilinear interpolant with hat_derivative's kink convention.
+void reference_interpolate_with_gradient(const DenseGridData& grid, std::span<const double> x,
+                                         std::span<double> value, std::span<double> grad);
+
 }  // namespace hddm::sg

@@ -276,6 +276,172 @@ TEST(AsgPolicy, GatherStatsDeltaIsolatesNewTraffic) {
   EXPECT_DOUBLE_EQ(delta.mean_requests(), 2.0);
 }
 
+TEST(AsgPolicy, SingleShockGatherFastPathBitIdenticalAndCounted) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(3, 3, 4, 101));
+  grids.push_back(make_shock_grid(3, 3, 4, 102));
+  const AsgPolicy policy(4, std::move(grids));
+
+  constexpr std::size_t kPoints = 9;
+  util::Rng rng(29);
+  std::vector<double> xs(kPoints * 3);
+  for (auto& xi : xs) xi = rng.uniform();
+
+  // Identity request rows into a contiguous output: the zero-copy variant.
+  std::vector<GatherRequest> requests;
+  for (std::size_t p = 0; p < kPoints; ++p) requests.push_back({1, static_cast<std::uint32_t>(p)});
+  std::vector<double> gathered(requests.size() * 4);
+  const GatherStats before = policy.gather_stats();
+  policy.evaluate_gather(requests, xs, kPoints, gathered, 4);
+  const GatherStats delta = policy.gather_stats().since(before);
+  EXPECT_EQ(delta.gathers, 1u);
+  EXPECT_EQ(delta.fastpath_gathers, 1u) << "single-shock gather did not take the fast path";
+
+  std::vector<double> want(4);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    policy.evaluate(1, std::span<const double>(xs).subspan(requests[i].point * 3, 3), want);
+    for (int dof = 0; dof < 4; ++dof)
+      EXPECT_EQ(gathered[i * 4 + static_cast<std::size_t>(dof)], want[static_cast<std::size_t>(dof)])
+          << "request " << i;
+  }
+
+  // A mixed-shock gather must NOT count as fast path.
+  std::vector<GatherRequest> mixed{{0, 0}, {1, 1}, {0, 2}};
+  std::vector<double> out2(mixed.size() * 4);
+  const GatherStats before2 = policy.gather_stats();
+  policy.evaluate_gather(mixed, xs, kPoints, out2, 4);
+  EXPECT_EQ(policy.gather_stats().since(before2).fastpath_gathers, 0u);
+}
+
+TEST(AsgPolicy, SingleShockFastPathHandlesShuffledRowsAndStride) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(2, 3, 3, 111));
+  const AsgPolicy policy(3, std::move(grids));
+
+  constexpr std::size_t kPoints = 6;
+  constexpr std::size_t kStride = 5;  // > ndofs: strided output
+  util::Rng rng(31);
+  std::vector<double> xs(kPoints * 2);
+  for (auto& xi : xs) xi = rng.uniform();
+  // Repeated and out-of-order rows: the fast path must stage the gather copy
+  // but still skip the bucketing, bit-identical to the per-request loop.
+  const std::vector<GatherRequest> requests{{0, 4}, {0, 1}, {0, 1}, {0, 5}, {0, 0}};
+  std::vector<double> gathered(requests.size() * kStride, -7.0);
+  const GatherStats before = policy.gather_stats();
+  policy.evaluate_gather(requests, xs, kPoints, gathered, kStride);
+  EXPECT_EQ(policy.gather_stats().since(before).fastpath_gathers, 1u);
+
+  std::vector<double> want(3);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    policy.evaluate(0, std::span<const double>(xs).subspan(requests[i].point * 2, 2), want);
+    for (int dof = 0; dof < 3; ++dof)
+      EXPECT_EQ(gathered[i * kStride + static_cast<std::size_t>(dof)],
+                want[static_cast<std::size_t>(dof)]);
+    for (std::size_t pad = 3; pad < kStride; ++pad)
+      EXPECT_EQ(gathered[i * kStride + pad], -7.0);  // stride padding untouched
+  }
+}
+
+TEST(AsgPolicy, GatherWithGradientValuesBitIdenticalAndCounted) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(3, 3, 4, 121));
+  grids.push_back(make_shock_grid(3, 3, 4, 122));
+  const AsgPolicy policy(4, std::move(grids));
+
+  constexpr std::size_t kPoints = 5;
+  util::Rng rng(37);
+  std::vector<double> xs(kPoints * 3);
+  for (auto& xi : xs) xi = rng.uniform();
+  std::vector<GatherRequest> requests;
+  for (std::size_t p = 0; p < kPoints; ++p)
+    for (int z = 0; z < 2; ++z) requests.push_back({z, static_cast<std::uint32_t>(p)});
+
+  std::vector<double> values(requests.size() * 4);
+  std::vector<double> grads(requests.size() * 4 * 3);
+  const GatherStats before = policy.gather_stats();
+  policy.evaluate_gather_with_gradient(requests, xs, kPoints, values, 4, grads, 4 * 3);
+  const GatherStats delta = policy.gather_stats().since(before);
+  EXPECT_EQ(delta.gradient_gathers, 1u);
+  EXPECT_EQ(delta.gradient_requests, requests.size());
+  EXPECT_EQ(delta.gathers, 0u);  // the value-gather counters stay untouched
+
+  // Values: bit-identical to the x86 kernel behind evaluate() (the documented
+  // compressed chain-walk contract).
+  std::vector<double> want(4);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    policy.evaluate(requests[i].z, std::span<const double>(xs).subspan(requests[i].point * 3, 3),
+                    want);
+    for (int dof = 0; dof < 4; ++dof)
+      EXPECT_EQ(values[i * 4 + static_cast<std::size_t>(dof)], want[static_cast<std::size_t>(dof)])
+          << "request " << i;
+  }
+}
+
+TEST(AsgPolicy, GatherGradientMatchesFiniteDifferences) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(3, 4, 2, 131));
+  const AsgPolicy policy(2, std::move(grids));
+
+  // Generic (non-dyadic) points: the interpolant is piecewise multilinear,
+  // so away from the kink null set a central difference matches the analytic
+  // gradient to the difference's own rounding error.
+  util::Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> x = rng.uniform_point(3);
+    std::vector<double> value(2), grad(2 * 3);
+    const std::vector<GatherRequest> requests{{0, 0}};
+    policy.evaluate_gather_with_gradient(requests, x, 1, value, 2, grad, 2 * 3);
+
+    const double h = 1e-7;
+    std::vector<double> xp(3), vp(2), vm(2);
+    for (int t = 0; t < 3; ++t) {
+      xp = x;
+      xp[static_cast<std::size_t>(t)] += h;
+      policy.evaluate(0, xp, vp);
+      xp[static_cast<std::size_t>(t)] -= 2 * h;
+      policy.evaluate(0, xp, vm);
+      for (int dof = 0; dof < 2; ++dof) {
+        const double fd = (vp[static_cast<std::size_t>(dof)] - vm[static_cast<std::size_t>(dof)]) /
+                          (2 * h);
+        EXPECT_NEAR(grad[static_cast<std::size_t>(dof) * 3 + static_cast<std::size_t>(t)], fd,
+                    1e-5)
+            << "trial " << trial << " dof " << dof << " dim " << t;
+      }
+    }
+  }
+}
+
+TEST(PolicyEvaluatorDefault, GatherWithGradientFdFallbackApproximates) {
+  std::vector<std::unique_ptr<ShockGrid>> grids;
+  grids.push_back(make_shock_grid(2, 3, 2, 141));
+  const AsgPolicy policy(2, std::move(grids));
+
+  // Minimal evaluator exposing only evaluate(): exercises the base-class
+  // finite-difference default, which must approximate the analytic override.
+  class EvalOnly final : public PolicyEvaluator {
+   public:
+    explicit EvalOnly(const PolicyEvaluator& inner) : inner_(inner) {}
+    [[nodiscard]] int num_shocks() const override { return inner_.num_shocks(); }
+    [[nodiscard]] int ndofs() const override { return inner_.ndofs(); }
+    void evaluate(int z, std::span<const double> x, std::span<double> out) const override {
+      inner_.evaluate(z, x, out);
+    }
+
+   private:
+    const PolicyEvaluator& inner_;
+  };
+  const EvalOnly fallback(policy);
+
+  util::Rng rng(43);
+  const std::vector<double> x = rng.uniform_point(2);
+  const std::vector<GatherRequest> requests{{0, 0}};
+  std::vector<double> v_an(2), g_an(2 * 2), v_fd(2), g_fd(2 * 2);
+  policy.evaluate_gather_with_gradient(requests, x, 1, v_an, 2, g_an, 2 * 2);
+  fallback.evaluate_gather_with_gradient(requests, x, 1, v_fd, 2, g_fd, 2 * 2);
+  EXPECT_EQ(v_an, v_fd);  // values go through evaluate() on both paths
+  for (std::size_t k = 0; k < g_an.size(); ++k) EXPECT_NEAR(g_fd[k], g_an[k], 1e-4);
+}
+
 TEST(PolicyEvaluatorDefault, EvaluateGatherLoopsEvaluate) {
   std::vector<std::unique_ptr<ShockGrid>> grids;
   grids.push_back(make_shock_grid(2, 3, 3, 91));

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/time_iteration.hpp"
+#include "util/rng.hpp"
 
 namespace hddm::irbc {
 namespace {
@@ -294,6 +295,120 @@ TEST(IrbcModel, SolvePointGatheredMatchesScalarBitIdentical) {
         EXPECT_EQ(gathered.dofs[j], scalar.dofs[j]) << "z=" << z << " dof " << j;
     }
   }
+}
+
+namespace {
+
+/// A realistic p_next for the Jacobian tests: two TI iterations of the given
+/// calibration (an AsgPolicy with analytic gradients, like production runs).
+std::shared_ptr<core::AsgPolicy> two_step_policy(const IrbcModel& m) {
+  core::TimeIterationOptions topts;
+  topts.base_level = 2;
+  topts.max_iterations = 2;
+  topts.tolerance = 0.0;
+  return core::solve_time_iteration(m, topts).policy;
+}
+
+}  // namespace
+
+TEST(IrbcModel, AnalyticJacobianMatchesBatchedFdColumns) {
+  // Column parity at generic (non-kink) trial points: the closed-form
+  // Jacobian must agree with the batched-FD sweep within the FD truncation
+  // error — far inside the documented fd_check_tolerance (1e-3).
+  IrbcCalibration cal;
+  cal.countries = 3;
+  cal.max_shock_bits = 2;
+  const IrbcModel m(cal);
+  const auto policy = two_step_policy(m);
+  const int N = m.state_dim();
+
+  util::Rng rng(7);
+  double worst = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> x_unit = rng.uniform_point(N);
+    const std::vector<double> k = m.domain().to_physical(x_unit);
+    std::vector<double> u(k);
+    for (double& v : u) v *= (1.0 + 0.05 * rng.uniform(-1.0, 1.0));
+    const int z = trial % m.num_shocks();
+
+    IrbcModel::ResidualScratch scratch;
+    util::Matrix ja(static_cast<std::size_t>(N), static_cast<std::size_t>(N));
+    util::Matrix jf(static_cast<std::size_t>(N), static_cast<std::size_t>(N));
+    m.euler_jacobian(z, k, u, *policy, ja, scratch);
+
+    IrbcModel::ResidualScratch rs;
+    const solver::BatchResidualFn batch = [&](std::span<const double> us, std::span<double> fs,
+                                              std::size_t ncols) {
+      m.euler_residuals_batch(z, k, us, ncols, *policy, fs, rs);
+    };
+    std::vector<double> f0(static_cast<std::size_t>(N));
+    m.euler_residuals_batch(z, k, u, 1, *policy, f0, rs);
+    solver::finite_difference_jacobian(batch, u, f0, 1e-7, jf);
+
+    for (int c = 0; c < N; ++c) {
+      double scale = 0.0;
+      for (int r = 0; r < N; ++r) scale = std::max(scale, std::fabs(jf(r, c)));
+      for (int r = 0; r < N; ++r)
+        worst = std::max(worst, std::fabs(ja(r, c) - jf(r, c)) / (1.0 + scale));
+    }
+  }
+  EXPECT_LT(worst, 1e-4) << "analytic columns diverge from the FD reference";
+}
+
+TEST(IrbcModel, JacobianModesConvergeToTheSameSolution) {
+  // The documented trajectory contract: FD and analytic refreshes may take
+  // different Newton paths but must land on the same root (both solve to
+  // residual 1e-10), within 1e-6 on the dofs.
+  IrbcCalibration cal;
+  cal.countries = 3;
+  cal.max_shock_bits = 2;
+  cal.jacobian_mode = solver::JacobianMode::BatchedFd;
+  const IrbcModel m_fd(cal);
+  cal.jacobian_mode = solver::JacobianMode::Analytic;
+  const IrbcModel m_an(cal);
+  const auto policy = two_step_policy(m_an);
+
+  std::vector<double> warm(3);
+  for (const double center : {0.4, 0.5, 0.6}) {
+    const std::vector<double> x_unit(3, center);
+    policy->evaluate(1, x_unit, warm);
+    const auto fd = m_fd.solve_point(1, x_unit, *policy, warm);
+    const auto an = m_an.solve_point(1, x_unit, *policy, warm);
+    ASSERT_TRUE(fd.converged);
+    ASSERT_TRUE(an.converged);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(an.dofs[j], fd.dofs[j], 1e-6);
+
+    // The per-solve counters reflect each mode's refresh strategy.
+    EXPECT_EQ(fd.jacobian.mode, solver::JacobianMode::BatchedFd);
+    EXPECT_GT(fd.jacobian.fd_refreshes, 0);
+    EXPECT_EQ(fd.jacobian.analytic_refreshes, 0);
+    EXPECT_EQ(an.jacobian.mode, solver::JacobianMode::Analytic);
+    EXPECT_GT(an.jacobian.analytic_refreshes, 0);
+    EXPECT_EQ(an.jacobian.fd_refreshes, 0);
+    // Analytic refreshes skip the FD sweep's N residual columns, so the
+    // analytic solve consumes strictly fewer policy interpolations.
+    EXPECT_LT(an.interpolations, fd.interpolations);
+  }
+}
+
+TEST(IrbcModel, FdCheckModeAuditsCleanlyOnRealSolves) {
+  IrbcCalibration cal;
+  cal.countries = 2;
+  cal.max_shock_bits = 2;
+  cal.jacobian_mode = solver::JacobianMode::FdCheck;
+  const IrbcModel m(cal);
+  const auto policy = two_step_policy(m);
+
+  std::vector<double> warm(2);
+  const std::vector<double> x_unit(2, 0.5);
+  policy->evaluate(0, x_unit, warm);
+  const auto res = m.solve_point(0, x_unit, *policy, warm);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(res.jacobian.mode, solver::JacobianMode::FdCheck);
+  EXPECT_GT(res.jacobian.analytic_refreshes, 0);
+  EXPECT_GT(res.jacobian.fd_refreshes, 0);  // every refresh audited
+  EXPECT_EQ(res.jacobian.fd_check_flagged_columns, 0)
+      << "max column-scaled deviation " << res.jacobian.fd_check_max_rel_dev;
 }
 
 TEST(IrbcModel, RejectsBadCalibrations) {

@@ -202,6 +202,99 @@ TEST(OlgModel, SolvePointGatheredMatchesScalarBitIdentical) {
   }
 }
 
+TEST(OlgModel, AnalyticJacobianMatchesBatchedFdColumns) {
+  // Column parity of the per-cohort closed-form Jacobian against the
+  // batched-FD sweep at generic savings points (cf. the IRBC twin test).
+  const OlgModel m = make_model(6);
+  core::TimeIterationOptions topts;
+  topts.base_level = 2;
+  topts.max_iterations = 2;
+  topts.tolerance = 0.0;
+  const auto policy = core::solve_time_iteration(m, topts).policy;
+  const int d = m.state_dim();
+
+  util::Rng rng(13);
+  double worst = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> x_unit = rng.uniform_point(d);
+    for (double& v : x_unit) v = 0.15 + 0.7 * v;  // interior: avoid clamp faces
+    const std::vector<double> x_phys = m.domain().to_physical(x_unit);
+    const auto s = m.decode_state(x_phys);
+    const int z = trial % m.num_shocks();
+    std::vector<double> warm(static_cast<std::size_t>(m.ndofs()));
+    policy->evaluate(z, x_unit, warm);
+    std::vector<double> u(warm.begin(), warm.begin() + d);
+    for (double& v : u) v *= (1.0 + 0.02 * rng.uniform(-1.0, 1.0));
+
+    OlgModel::ResidualScratch scratch;
+    util::Matrix ja(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+    util::Matrix jf(static_cast<std::size_t>(d), static_cast<std::size_t>(d));
+    m.euler_jacobian(z, s, u, *policy, ja, scratch);
+
+    OlgModel::ResidualScratch rs;
+    const solver::BatchResidualFn batch = [&](std::span<const double> us, std::span<double> fs,
+                                              std::size_t ncols) {
+      m.euler_residuals_batch(z, s, us, ncols, *policy, fs, rs);
+    };
+    std::vector<double> f0(static_cast<std::size_t>(d));
+    m.euler_residuals_batch(z, s, u, 1, *policy, f0, rs);
+    solver::finite_difference_jacobian(batch, u, f0, 1e-6, jf);
+
+    for (int c = 0; c < d; ++c) {
+      double scale = 0.0;
+      for (int r = 0; r < d; ++r) scale = std::max(scale, std::fabs(jf(r, c)));
+      for (int r = 0; r < d; ++r)
+        worst = std::max(worst, std::fabs(ja(r, c) - jf(r, c)) / (1.0 + scale));
+    }
+  }
+  EXPECT_LT(worst, 1e-4) << "analytic columns diverge from the FD reference";
+}
+
+TEST(OlgModel, JacobianModesConvergeToTheSameSolution) {
+  // FD and analytic refreshes must land on the same per-cohort equilibrium
+  // (documented 1e-6 trajectory tolerance); the FD-check hybrid audits every
+  // refresh without flagging.
+  OlgModelOptions fd_opts;
+  fd_opts.newton.jacobian_mode = solver::JacobianMode::BatchedFd;
+  const OlgModel m_fd(build_economy(reduced_calibration(6)), fd_opts);
+  OlgModelOptions an_opts;
+  an_opts.newton.jacobian_mode = solver::JacobianMode::Analytic;
+  const OlgModel m_an(build_economy(reduced_calibration(6)), an_opts);
+  OlgModelOptions ck_opts;
+  ck_opts.newton.jacobian_mode = solver::JacobianMode::FdCheck;
+  const OlgModel m_ck(build_economy(reduced_calibration(6)), ck_opts);
+
+  core::TimeIterationOptions topts;
+  topts.base_level = 2;
+  topts.max_iterations = 2;
+  topts.tolerance = 0.0;
+  const auto policy = core::solve_time_iteration(m_an, topts).policy;
+  const int d = m_an.state_dim();
+
+  std::vector<double> warm(static_cast<std::size_t>(m_an.ndofs()));
+  for (const double center : {0.45, 0.55}) {
+    const std::vector<double> x_unit(static_cast<std::size_t>(d), center);
+    policy->evaluate(0, x_unit, warm);
+    const auto fd = m_fd.solve_point(1, x_unit, *policy, warm);
+    const auto an = m_an.solve_point(1, x_unit, *policy, warm);
+    const auto ck = m_ck.solve_point(1, x_unit, *policy, warm);
+    ASSERT_TRUE(fd.converged);
+    ASSERT_TRUE(an.converged);
+    for (int j = 0; j < d; ++j)
+      EXPECT_NEAR(an.dofs[static_cast<std::size_t>(j)], fd.dofs[static_cast<std::size_t>(j)],
+                  1e-6);
+
+    EXPECT_EQ(fd.jacobian.mode, solver::JacobianMode::BatchedFd);
+    EXPECT_GT(fd.jacobian.fd_refreshes, 0);
+    EXPECT_EQ(an.jacobian.mode, solver::JacobianMode::Analytic);
+    EXPECT_GT(an.jacobian.analytic_refreshes, 0);
+    EXPECT_EQ(an.jacobian.fd_refreshes, 0);
+    EXPECT_LT(an.interpolations, fd.interpolations);  // no FD sweep interpolations
+    EXPECT_EQ(ck.jacobian.fd_check_flagged_columns, 0)
+        << "max column-scaled deviation " << ck.jacobian.fd_check_max_rel_dev;
+  }
+}
+
 TEST(OlgModel, EulerResidualZeroAfterSolve) {
   const OlgModel m = make_model(6);
   const SteadyPolicy pnext(m);

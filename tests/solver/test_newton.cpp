@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "util/rng.hpp"
 
@@ -325,6 +326,116 @@ TEST(NewtonStatus, ToStringCoversAllValues) {
   EXPECT_EQ(to_string(NewtonStatus::MaxIterations), "max-iterations");
   EXPECT_EQ(to_string(NewtonStatus::LineSearchFailed), "line-search-failed");
   EXPECT_EQ(to_string(NewtonStatus::SingularJacobian), "singular-jacobian");
+}
+
+namespace {
+
+// The shared fixture system of the JacobianProvider tests: a mildly
+// nonlinear 2x2 system with a closed-form Jacobian.
+const ResidualFn kSystem = [](std::span<const double> u, std::span<double> out) {
+  out[0] = u[0] * u[0] - u[1];
+  out[1] = u[1] - 3.0;
+};
+const JacobianFn kSystemJacobian = [](std::span<const double> u, util::Matrix& m) {
+  m(0, 0) = 2.0 * u[0];
+  m(0, 1) = -1.0;
+  m(1, 0) = 0.0;
+  m(1, 1) = 1.0;
+};
+
+}  // namespace
+
+TEST(JacobianProvider, BatchedFdModeMatchesLegacyOverloadBitIdentical) {
+  NewtonOptions opts;
+  opts.jacobian_mode = JacobianMode::BatchedFd;
+  const auto provider = make_jacobian_provider(opts, kSystem, nullptr, nullptr);
+  const NewtonResult via_provider = solve_newton(kSystem, std::vector<double>{1.0, 1.0}, opts,
+                                                 *provider);
+  const NewtonResult via_legacy = solve_newton(kSystem, std::vector<double>{1.0, 1.0}, opts);
+  ASSERT_TRUE(via_provider.converged());
+  EXPECT_EQ(via_provider.solution, via_legacy.solution);  // identical refresh arithmetic
+  EXPECT_EQ(via_provider.residual_evaluations, via_legacy.residual_evaluations);
+  EXPECT_GT(provider->stats().fd_refreshes, 0);
+  EXPECT_EQ(provider->stats().analytic_refreshes, 0);
+  EXPECT_EQ(provider->stats().fd_columns, 2 * provider->stats().fd_refreshes);
+}
+
+TEST(JacobianProvider, AnalyticModeUsesNoResidualEvaluationsForRefreshes) {
+  NewtonOptions opts;
+  opts.jacobian_mode = JacobianMode::Analytic;
+  const auto provider = make_jacobian_provider(opts, kSystem, nullptr, &kSystemJacobian);
+  const NewtonResult r = solve_newton(kSystem, std::vector<double>{1.0, 1.0}, opts, *provider);
+  ASSERT_TRUE(r.converged());
+  EXPECT_NEAR(r.solution[0], std::sqrt(3.0), 1e-8);
+  EXPECT_GT(provider->stats().analytic_refreshes, 0);
+  EXPECT_EQ(provider->stats().fd_refreshes, 0);
+  EXPECT_EQ(provider->stats().analytic_columns, 2 * provider->stats().analytic_refreshes);
+  // Residual evaluations = initial + line-search trials only: one per
+  // accepted iteration here, none for the refreshes themselves.
+  EXPECT_EQ(r.residual_evaluations, 1 + r.iterations);
+}
+
+TEST(JacobianProvider, FdCheckPassesCorrectDerivativeAndMatchesAnalyticTrajectory) {
+  NewtonOptions opts;
+  opts.jacobian_mode = JacobianMode::FdCheck;
+  const auto check = make_jacobian_provider(opts, kSystem, nullptr, &kSystemJacobian);
+  const NewtonResult audited = solve_newton(kSystem, std::vector<double>{1.0, 1.0}, opts, *check);
+
+  opts.jacobian_mode = JacobianMode::Analytic;
+  const auto analytic = make_jacobian_provider(opts, kSystem, nullptr, &kSystemJacobian);
+  const NewtonResult plain = solve_newton(kSystem, std::vector<double>{1.0, 1.0}, opts, *analytic);
+
+  ASSERT_TRUE(audited.converged());
+  // FdCheck steps with the analytic matrix: trajectories are identical.
+  EXPECT_EQ(audited.solution, plain.solution);
+  EXPECT_EQ(audited.iterations, plain.iterations);
+  EXPECT_EQ(check->stats().fd_check_flagged_columns, 0);
+  EXPECT_LT(check->stats().fd_check_max_rel_dev, opts.fd_check_tolerance);
+  EXPECT_GT(check->stats().fd_refreshes, 0);  // the audit sweeps really ran
+}
+
+TEST(JacobianProvider, FdCheckCatchesDeliberatelyWrongDerivative) {
+  // Sign-flipped (0,0) entry: every refresh must flag column 0.
+  const JacobianFn wrong = [](std::span<const double> u, util::Matrix& m) {
+    m(0, 0) = -2.0 * u[0];  // should be +2 u[0]
+    m(0, 1) = -1.0;
+    m(1, 0) = 0.0;
+    m(1, 1) = 1.0;
+  };
+  NewtonOptions opts;
+  opts.jacobian_mode = JacobianMode::FdCheck;
+  const auto provider = make_jacobian_provider(opts, kSystem, nullptr, &wrong);
+  (void)solve_newton(kSystem, std::vector<double>{1.0, 1.0}, opts, *provider);
+  EXPECT_GT(provider->stats().fd_check_flagged_columns, 0)
+      << "the audit failed to flag a sign-flipped derivative";
+  EXPECT_GT(provider->stats().fd_check_max_rel_dev, opts.fd_check_tolerance);
+}
+
+TEST(JacobianProvider, AnalyticModesRequireAJacobianFn) {
+  NewtonOptions opts;
+  opts.jacobian_mode = JacobianMode::Analytic;
+  EXPECT_THROW((void)make_jacobian_provider(opts, kSystem, nullptr, nullptr),
+               std::invalid_argument);
+  opts.jacobian_mode = JacobianMode::FdCheck;
+  EXPECT_THROW((void)make_jacobian_provider(opts, kSystem, nullptr, nullptr),
+               std::invalid_argument);
+}
+
+TEST(JacobianMode, ToStringAndEnvParsing) {
+  EXPECT_EQ(to_string(JacobianMode::BatchedFd), "batched-fd");
+  EXPECT_EQ(to_string(JacobianMode::Analytic), "analytic");
+  EXPECT_EQ(to_string(JacobianMode::FdCheck), "fd-check");
+
+  ASSERT_EQ(setenv("HDDM_JACOBIAN_MODE", "analytic", 1), 0);
+  EXPECT_EQ(jacobian_mode_from_env(JacobianMode::BatchedFd), JacobianMode::Analytic);
+  ASSERT_EQ(setenv("HDDM_JACOBIAN_MODE", "fd", 1), 0);
+  EXPECT_EQ(jacobian_mode_from_env(JacobianMode::Analytic), JacobianMode::BatchedFd);
+  ASSERT_EQ(setenv("HDDM_JACOBIAN_MODE", "fd-check", 1), 0);
+  EXPECT_EQ(jacobian_mode_from_env(JacobianMode::BatchedFd), JacobianMode::FdCheck);
+  ASSERT_EQ(setenv("HDDM_JACOBIAN_MODE", "nonsense", 1), 0);
+  EXPECT_EQ(jacobian_mode_from_env(JacobianMode::Analytic), JacobianMode::Analytic);
+  ASSERT_EQ(unsetenv("HDDM_JACOBIAN_MODE"), 0);
+  EXPECT_EQ(jacobian_mode_from_env(JacobianMode::FdCheck), JacobianMode::FdCheck);
 }
 
 }  // namespace

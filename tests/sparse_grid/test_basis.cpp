@@ -145,5 +145,36 @@ TEST(Basis, HatVanishesAtCoarserGridPoints) {
   }
 }
 
+TEST(Basis, HatDerivativeSlopesAndConventions) {
+  // Interior hat (3,1): center 0.25, support (0, 0.5), slope +/-4.
+  EXPECT_DOUBLE_EQ(hat_derivative({3, 1}, 0.1), 4.0);    // left flank
+  EXPECT_DOUBLE_EQ(hat_derivative({3, 1}, 0.4), -4.0);   // right flank
+  EXPECT_DOUBLE_EQ(hat_derivative({3, 1}, 0.25), 0.0);   // kink: subgradient midpoint
+  EXPECT_DOUBLE_EQ(hat_derivative({3, 1}, 0.5), 0.0);    // support edge
+  EXPECT_DOUBLE_EQ(hat_derivative({3, 1}, 0.75), 0.0);   // outside
+  // Boundary hats (level 2): support half the cube, slope 2 toward the face.
+  EXPECT_DOUBLE_EQ(hat_derivative({2, 0}, 0.3), -2.0);
+  EXPECT_DOUBLE_EQ(hat_derivative({2, 2}, 0.7), 2.0);
+  EXPECT_DOUBLE_EQ(hat_derivative({2, 2}, 0.3), 0.0);  // outside its support
+  EXPECT_DOUBLE_EQ(hat_derivative({2, 0}, 0.0), 0.0);  // kink at its own center
+  // The constant level-1 basis has zero slope everywhere.
+  EXPECT_DOUBLE_EQ(hat_derivative({1, 1}, 0.37), 0.0);
+}
+
+TEST(Basis, HatDerivativeMatchesCentralDifferenceOffKinks) {
+  const double h = 1e-7;
+  for (level_t l = 2; l <= 5; ++l) {
+    const index_t top = (l == 2) ? 2 : (index_t{1} << (l - 1));
+    for (index_t i = (l == 2 ? 0 : 1); i <= top; i += (l == 2 ? 2 : 2)) {
+      if (!is_valid_pair({l, i})) continue;
+      for (const double x : {0.137, 0.318, 0.507, 0.713, 0.921}) {
+        const double fd = (hat_value({l, i}, x + h) - hat_value({l, i}, x - h)) / (2 * h);
+        EXPECT_NEAR(hat_derivative({l, i}, x), fd, 1e-6)
+            << "phi'_(" << int(l) << "," << i << ") at " << x;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hddm::sg

@@ -103,5 +103,72 @@ TEST(TensorBasis, RootDimensionsContributeUnity) {
   EXPECT_DOUBLE_EQ(tensor_basis_value(mi, x), 1.0);
 }
 
+TEST(ReferenceGradient, ValuesBitIdenticalAndGradientMatchesCentralDifference) {
+  GridStorage g(3);
+  build_regular_grid(g, 4);
+  DenseGridData grid = make_dense_grid(g, 2);
+  util::Rng rng(7);
+  for (std::uint32_t p = 0; p < g.size(); ++p) {
+    double* row = grid.surplus_row(p);
+    row[0] = rng.uniform(-1, 1);
+    row[1] = rng.uniform(-1, 1);
+  }
+
+  util::Rng prng(9);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::vector<double> x = prng.uniform_point(3);
+    std::vector<double> value(2), grad(2 * 3), plain(2);
+    reference_interpolate_with_gradient(grid, x, value, grad);
+    reference_interpolate(grid, x, plain);
+    EXPECT_EQ(value, plain);  // the documented bit-identity of the values
+
+    const double h = 1e-7;
+    std::vector<double> xp(3), vp(2), vm(2);
+    for (int t = 0; t < 3; ++t) {
+      xp = x;
+      xp[static_cast<std::size_t>(t)] += h;
+      reference_interpolate(grid, xp, vp);
+      xp[static_cast<std::size_t>(t)] -= 2 * h;
+      reference_interpolate(grid, xp, vm);
+      for (int dof = 0; dof < 2; ++dof) {
+        const double fd = (vp[static_cast<std::size_t>(dof)] - vm[static_cast<std::size_t>(dof)]) /
+                          (2 * h);
+        EXPECT_NEAR(grad[static_cast<std::size_t>(dof) * 3 + static_cast<std::size_t>(t)], fd,
+                    1e-5);
+      }
+    }
+  }
+}
+
+TEST(ReferenceGradient, AgreesWithCompressedWalk) {
+  // The compressed chain walk (kernels::evaluate_with_gradient, exercised
+  // through core::ShockGrid in tests/core) and this dense reference must
+  // compute the same derivative; here the reference itself is validated at a
+  // grid point's kink, where the subgradient-midpoint convention applies.
+  GridStorage g(2);
+  build_regular_grid(g, 3);
+  DenseGridData grid = make_dense_grid(g, 1);
+  for (std::uint32_t p = 0; p < g.size(); ++p) grid.surplus_row(p)[0] = 1.0 + 0.1 * p;
+
+  // x0 = 0.25 sits exactly on the center kink of hat (3,1) — and on no other
+  // basis function's kink or support edge at this level — so the gradient
+  // convention there is the average of the one-sided slopes; x1 = 0.3 is
+  // generic.
+  std::vector<double> value(1), grad(2);
+  const std::vector<double> x{0.25, 0.3};
+  reference_interpolate_with_gradient(grid, x, value, grad);
+  const double h = 1e-7;
+  std::vector<double> vl(1), vr(1);
+  std::vector<double> xp = x;
+  xp[0] = x[0] + h;
+  reference_interpolate(grid, xp, vr);
+  xp[0] = x[0] - h;
+  reference_interpolate(grid, xp, vl);
+  const double left = (value[0] - vl[0]) / h;
+  const double right = (vr[0] - value[0]) / h;
+  EXPECT_NEAR(grad[0], 0.5 * (left + right), 1e-5);
+  EXPECT_GT(std::fabs(left - right), 1.0);  // a genuine kink, not a smooth point
+}
+
 }  // namespace
 }  // namespace hddm::sg
