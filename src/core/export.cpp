@@ -33,7 +33,7 @@ void export_grid_csv(const AsgPolicy& policy, int z, const std::string& path) {
   export_grid_csv(policy, z, out);
 }
 
-void export_policy_slice_csv(const AsgPolicy& policy, int z, int axis,
+void export_policy_slice_csv(const PolicyEvaluator& policy, int z, int axis,
                              const std::vector<double>& fixed_point, int samples,
                              std::ostream& out) {
   const int nd = policy.ndofs();

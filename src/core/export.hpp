@@ -18,8 +18,10 @@ void export_grid_csv(const AsgPolicy& policy, int z, std::ostream& out);
 void export_grid_csv(const AsgPolicy& policy, int z, const std::string& path);
 
 /// Policy slice along one unit-cube axis (others fixed): columns
-/// x, dof0, ..., dof{nd-1}; `samples` evaluation points.
-void export_policy_slice_csv(const AsgPolicy& policy, int z, int axis,
+/// x, dof0, ..., dof{nd-1}; `samples` evaluation points. Takes the abstract
+/// evaluator, not AsgPolicy, so snapshot-loaded policies served through
+/// serve::PolicyServer (or any other backend) export the same way.
+void export_policy_slice_csv(const PolicyEvaluator& policy, int z, int axis,
                              const std::vector<double>& fixed_point, int samples,
                              std::ostream& out);
 

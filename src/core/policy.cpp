@@ -11,6 +11,26 @@ ShockGrid::ShockGrid(const sg::GridStorage& storage, int ndofs, std::span<const 
   kernel_ = kernels::make_kernel(kind, &dense_, &compressed_);
 }
 
+namespace {
+
+// Structural check running *before* the compression pipeline sees the grid
+// (the direct-adoption ctor takes caller-provided data, not GridStorage
+// output).
+sg::DenseGridData validated_dense(sg::DenseGridData dense) {
+  if (dense.nno == 0 || dense.ndofs <= 0 || dense.dim <= 0 ||
+      dense.pairs.size() != static_cast<std::size_t>(dense.nno) * dense.dim ||
+      dense.surplus.size() != static_cast<std::size_t>(dense.nno) * dense.ndofs)
+    throw std::invalid_argument("ShockGrid: inconsistent dense grid");
+  return dense;
+}
+
+}  // namespace
+
+ShockGrid::ShockGrid(sg::DenseGridData dense, kernels::KernelKind kind)
+    : dense_(validated_dense(std::move(dense))), compressed_(compress(dense_)) {
+  kernel_ = kernels::make_kernel(kind, &dense_, &compressed_);
+}
+
 void ShockGrid::evaluate_with_gradient(std::span<const double> x_unit, std::span<double> out,
                                        std::span<double> grad) const {
   kernels::evaluate_with_gradient(compressed_, x_unit.data(), out.data(), grad.data());

@@ -58,6 +58,14 @@ class ShockGrid {
   ShockGrid(const sg::GridStorage& storage, int ndofs, std::span<const double> surpluses,
             kernels::KernelKind kind);
 
+  /// Builds directly from a ready dense grid — the snapshot cold-start path
+  /// (serve::PolicySnapshot::load): the deserialized dense block is adopted
+  /// as-is, so no GridStorage hash index is ever rebuilt just to serve
+  /// queries. Point order is preserved, hence the compressed layout and
+  /// every kernel evaluation are bit-identical to a ShockGrid built from the
+  /// originating GridStorage.
+  ShockGrid(sg::DenseGridData dense, kernels::KernelKind kind);
+
   [[nodiscard]] std::uint32_t num_points() const { return dense_.nno; }
   [[nodiscard]] int ndofs() const { return dense_.ndofs; }
   [[nodiscard]] const sg::DenseGridData& dense() const { return dense_; }
@@ -135,6 +143,9 @@ class AsgPolicy final : public PolicyEvaluator {
   }
 
   [[nodiscard]] const ShockGrid& grid(int z) const { return *grids_[static_cast<std::size_t>(z)]; }
+  /// CPU interpolation backend of the shock grids (all grids share one kind
+  /// by construction) — what the snapshot layer records as the ISA tier.
+  [[nodiscard]] kernels::KernelKind kernel_kind() const { return grids_.front()->kernel().kind(); }
   [[nodiscard]] std::uint32_t total_points() const;
   [[nodiscard]] std::vector<std::uint32_t> points_per_shock() const;
 

@@ -65,6 +65,11 @@ void DeviceDispatcher::wait(Ticket ticket) {
   done_cv_.wait(lock, [&ticket] { return ticket.req_->done.load(std::memory_order_acquire); });
 }
 
+std::size_t DeviceDispatcher::outstanding_points() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return outstanding_points_;
+}
+
 bool DeviceDispatcher::try_offload(const kernels::InterpolationKernel& kernel, const double* x,
                                    double* value) {
   Ticket ticket = try_submit(kernel, x, value, 1);

@@ -117,6 +117,12 @@ class DeviceDispatcher {
   /// submission + wait. Returns false when the device rejected the point.
   bool try_offload(const kernels::InterpolationKernel& kernel, const double* x, double* value);
 
+  /// Instantaneous queue depth in points (queued + in flight) — the gauge
+  /// behind the serving layer's backpressure telemetry: queue_capacity minus
+  /// this is the admission headroom the next try_submit sees. Monotonic
+  /// counters live in stats(); this one goes up and down with load.
+  [[nodiscard]] std::size_t outstanding_points() const;
+
   [[nodiscard]] std::uint64_t offloaded() const { return offloaded_.load(); }
   [[nodiscard]] std::uint64_t rejected() const { return rejected_.load(); }
   [[nodiscard]] std::uint64_t batches() const { return batches_.load(); }
@@ -133,7 +139,7 @@ class DeviceDispatcher {
 
   DispatcherOptions opts_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable queue_cv_;  // dispatcher waits for work
   std::condition_variable done_cv_;   // requesters wait for completion
   std::deque<std::shared_ptr<Ticket::Request>> queue_;

@@ -1,6 +1,7 @@
 #include "sparse_grid/dense_format.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace hddm::sg {
@@ -23,6 +24,85 @@ DenseGridData make_dense_grid(const GridStorage& storage, int ndofs) {
   const auto flat = storage.flat_pairs();
   g.pairs.assign(flat.begin(), flat.end());
   g.surplus.assign(static_cast<std::size_t>(g.nno) * ndofs, 0.0);
+  return g;
+}
+
+namespace {
+
+template <class T>
+void append_pod(std::vector<unsigned char>& out, const T& value) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <class T>
+T read_pod(std::span<const unsigned char> bytes, std::size_t& offset) {
+  if (bytes.size() - offset < sizeof(T))
+    throw std::runtime_error("parse_dense_grid_bytes: truncated grid block");
+  T value;
+  std::memcpy(&value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+// Hard plausibility caps: a CRC-verified payload can still be structurally
+// hostile (a forged header requesting terabytes); these bound what a parse
+// may allocate before any per-pair validation runs.
+constexpr std::uint32_t kMaxDim = 4096;
+constexpr std::uint32_t kMaxNdofs = 1u << 20;
+
+}  // namespace
+
+std::size_t dense_grid_serialized_bytes(const DenseGridData& grid) {
+  return 3 * sizeof(std::uint32_t) +
+         static_cast<std::size_t>(grid.nno) * static_cast<std::size_t>(grid.dim) *
+             (sizeof(std::uint8_t) + sizeof(std::uint32_t)) +
+         grid.surplus.size() * sizeof(double);
+}
+
+void append_dense_grid_bytes(const DenseGridData& grid, std::vector<unsigned char>& out) {
+  out.reserve(out.size() + dense_grid_serialized_bytes(grid));
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(grid.dim));
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(grid.ndofs));
+  append_pod<std::uint32_t>(out, grid.nno);
+  for (const LevelIndex& li : grid.pairs) {
+    append_pod<std::uint8_t>(out, li.l);
+    append_pod<std::uint32_t>(out, li.i);
+  }
+  const auto* s = reinterpret_cast<const unsigned char*>(grid.surplus.data());
+  out.insert(out.end(), s, s + grid.surplus.size() * sizeof(double));
+}
+
+DenseGridData parse_dense_grid_bytes(std::span<const unsigned char> bytes, std::size_t& offset) {
+  const auto dim = read_pod<std::uint32_t>(bytes, offset);
+  const auto ndofs = read_pod<std::uint32_t>(bytes, offset);
+  const auto nno = read_pod<std::uint32_t>(bytes, offset);
+  if (dim == 0 || dim > kMaxDim)
+    throw std::runtime_error("parse_dense_grid_bytes: implausible dimension");
+  if (ndofs == 0 || ndofs > kMaxNdofs)
+    throw std::runtime_error("parse_dense_grid_bytes: implausible ndofs");
+
+  DenseGridData g;
+  g.dim = static_cast<int>(dim);
+  g.ndofs = static_cast<int>(ndofs);
+  g.nno = nno;
+
+  const std::size_t npairs = static_cast<std::size_t>(nno) * dim;
+  const std::size_t pair_bytes = npairs * (sizeof(std::uint8_t) + sizeof(std::uint32_t));
+  const std::size_t surplus_count = static_cast<std::size_t>(nno) * ndofs;
+  if (bytes.size() - offset < pair_bytes + surplus_count * sizeof(double))
+    throw std::runtime_error("parse_dense_grid_bytes: truncated grid block");
+
+  g.pairs.resize(npairs);
+  for (LevelIndex& li : g.pairs) {
+    li.l = read_pod<std::uint8_t>(bytes, offset);
+    li.i = read_pod<std::uint32_t>(bytes, offset);
+    if (!is_valid_pair(li))
+      throw std::runtime_error("parse_dense_grid_bytes: invalid (level, index) pair");
+  }
+  g.surplus.resize(surplus_count);
+  std::memcpy(g.surplus.data(), bytes.data() + offset, surplus_count * sizeof(double));
+  offset += surplus_count * sizeof(double);
   return g;
 }
 

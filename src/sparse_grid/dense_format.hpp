@@ -45,4 +45,31 @@ DenseGridData make_dense_grid(const GridStorage& storage, int ndofs,
 /// Dense format with surpluses left zero (the caller fills them later).
 DenseGridData make_dense_grid(const GridStorage& storage, int ndofs);
 
+// ---------------------------------------------------------------------------
+// Flat byte layout of one dense grid — the per-shock payload block of the
+// policy-snapshot format (src/serve/snapshot.hpp). Little-endian, no
+// padding, fully deterministic for a given grid (the bit-identity tests of
+// tests/serve/ rely on save(save(load(x))) == save(x)):
+//
+//   u32 dim | u32 ndofs | u32 nno
+//   nno * dim pairs, point-major: u8 level, u32 index
+//   nno * ndofs f64 surpluses, point-major
+//
+// The framing (magic, format version, CRC, metadata) lives one layer up in
+// serve::; this module only owns the grid-block layout, mirroring how the
+// in-memory DenseGridData is the substrate the compression pipeline and the
+// gold kernel share.
+
+/// Exact byte size append_dense_grid_bytes() will add for this grid.
+std::size_t dense_grid_serialized_bytes(const DenseGridData& grid);
+
+/// Appends the grid's byte layout to `out`.
+void append_dense_grid_bytes(const DenseGridData& grid, std::vector<unsigned char>& out);
+
+/// Parses one grid block starting at `offset` (advanced past the block on
+/// return). Throws std::runtime_error on truncation, implausible header
+/// fields, or an invalid (level, index) pair — callers holding a verified
+/// checksum (serve::) translate that into their typed corruption error.
+DenseGridData parse_dense_grid_bytes(std::span<const unsigned char> bytes, std::size_t& offset);
+
 }  // namespace hddm::sg

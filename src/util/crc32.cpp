@@ -1,0 +1,36 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace hddm::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < size; ++i) c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  Crc32 acc;
+  acc.update(data, size);
+  return acc.value();
+}
+
+}  // namespace hddm::util

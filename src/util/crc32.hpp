@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the checksum guarding the
+// policy-snapshot payload (src/serve/snapshot.hpp). Table-driven, streaming:
+// feed chunks through Crc32::update() or hash one buffer with crc32().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hddm::util {
+
+/// Streaming CRC-32 accumulator.
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size);
+  /// Final checksum over everything fed so far.
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+}  // namespace hddm::util

@@ -30,7 +30,10 @@
 #include <limits>
 #include <string>
 
+#include <sstream>
+
 #include "core/compression.hpp"
+#include "serve/snapshot.hpp"
 #include "sparse_grid/regular.hpp"
 #include "util/rng.hpp"
 
@@ -152,6 +155,87 @@ INSTANTIATE_TEST_SUITE_P(GoldVsIsa, KernelParityTest, ::testing::ValuesIn(parity
                            return name + "_d" + std::to_string(c.d) + "_l" +
                                   std::to_string(c.level) + "_nd" + std::to_string(c.ndofs);
                          });
+
+// --- Snapshot ISA revalidation -------------------------------------------
+//
+// A snapshot records the ISA tier it was saved under; load() re-derives the
+// host's best tier. Matching tiers keep the recorded kind; a foreign (or
+// unknown) tier routes through the gold reference kernel, whose agreement
+// with every tier is exactly the ULP contract established above — so these
+// tests live next to the parity suite and reuse its bound.
+
+std::shared_ptr<core::AsgPolicy> parity_policy(KernelKind kind) {
+  sg::GridStorage storage(3);
+  sg::build_regular_grid(storage, 4);
+  util::Rng rng(0x15A);
+  std::vector<double> surpluses(static_cast<std::size_t>(storage.size()) * 5);
+  for (auto& s : surpluses) s = rng.uniform(-1.0, 1.0);
+  std::vector<std::unique_ptr<core::ShockGrid>> grids;
+  grids.push_back(std::make_unique<core::ShockGrid>(storage, 5, surpluses, kind));
+  return std::make_shared<core::AsgPolicy>(5, std::move(grids));
+}
+
+TEST(SnapshotIsaRevalidation, MatchingTierKeepsHostKernel) {
+  const KernelKind host = best_supported_kernel();
+  const auto policy = parity_policy(host);
+  std::stringstream buffer;
+  serve::SnapshotMeta meta;
+  meta.model = "parity";
+  serve::save_snapshot(*policy, meta, buffer);  // records host tier
+
+  const serve::LoadedSnapshot loaded = serve::load_snapshot(buffer);
+  EXPECT_FALSE(loaded.isa_fallback);
+  EXPECT_EQ(loaded.kernel, host);
+  EXPECT_EQ(loaded.policy->kernel_kind(), host);
+}
+
+TEST(SnapshotIsaRevalidation, ForeignTierFallsBackToGoldUlpBounded) {
+  // Simulate a snapshot produced on different silicon: forge a tier string
+  // this host will not match. The load must not trust it — it routes through
+  // gold — and the served values must stay inside the parity ULP bound
+  // against the source policy's own tier.
+  const auto policy = parity_policy(KernelKind::X86);
+  std::stringstream buffer;
+  serve::SnapshotMeta meta;
+  meta.model = "parity";
+  meta.isa_tier = "avx9999";
+  serve::save_snapshot(*policy, meta, buffer);
+
+  const serve::LoadedSnapshot loaded = serve::load_snapshot(buffer);
+  EXPECT_TRUE(loaded.isa_fallback);
+  EXPECT_EQ(loaded.kernel, KernelKind::Gold);
+  EXPECT_EQ(loaded.policy->kernel_kind(), KernelKind::Gold);
+
+  util::Rng rng(0xF00);
+  std::vector<double> want(5), got(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto x = rng.uniform_point(3);
+    policy->evaluate(0, x, want);
+    loaded.policy->evaluate(0, x, got);
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      const std::uint64_t ulps = ulp_distance(want[w], got[w]);
+      if (ulps <= kMaxUlps) continue;
+      EXPECT_LE(std::fabs(want[w] - got[w]), kUnitUlpTolerance)
+          << "gold fallback vs x86 source at trial " << trial << ", dof " << w << ": "
+          << want[w] << " vs " << got[w] << " (" << ulps << " ulps)";
+    }
+  }
+}
+
+TEST(SnapshotIsaRevalidation, RealForeignTierNameAlsoFallsBack) {
+  // A *valid* tier name that simply is not this host's best tier must also
+  // fall back (the recorded kind may not even be executable here). Gold
+  // itself is never anyone's best_supported_kernel, so it always qualifies.
+  const auto policy = parity_policy(KernelKind::X86);
+  std::stringstream buffer;
+  serve::SnapshotMeta meta;
+  meta.model = "parity";
+  meta.isa_tier = std::string(kernel_name(KernelKind::Gold));
+  serve::save_snapshot(*policy, meta, buffer);
+  const serve::LoadedSnapshot loaded = serve::load_snapshot(buffer);
+  EXPECT_TRUE(loaded.isa_fallback);
+  EXPECT_EQ(loaded.kernel, KernelKind::Gold);
+}
 
 }  // namespace
 }  // namespace hddm::kernels
